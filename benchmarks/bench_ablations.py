@@ -1,0 +1,52 @@
+"""Ablation benches: the design-choice sweeps DESIGN.md calls out."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_heterogeneous_baselines,
+    ablate_lambda,
+    ablate_latent_dim,
+    ablate_streams,
+    extension_q_rotate,
+)
+
+
+def bench_ablation_streams(benchmark, report):
+    result = benchmark(lambda: ablate_streams(max_streams=6))
+    report("ablate-streams", result.render())
+    epochs = result.column("epoch_ms")
+    assert all(b <= a + 1e-9 for a, b in zip(epochs, epochs[1:]))
+    benchmark.extra_info["epoch_ms_by_streams"] = epochs
+
+
+def bench_ablation_lambda(benchmark, report):
+    result = benchmark(ablate_lambda)
+    report("ablate-lambda", result.render())
+    strategies = result.column("chosen_strategy")
+    assert "dp1" in strategies and "dp2" in strategies
+    benchmark.extra_info["strategies"] = strategies
+
+
+def bench_ablation_latent_dim(benchmark, report):
+    result = benchmark(lambda: ablate_latent_dim(dims=(16, 32, 64, 128)))
+    report("ablate-k", result.render())
+    fr = result.column("comm_fraction")
+    assert fr[0] == pytest.approx(fr[-1], rel=0.1)  # k-invariance (Eq. 2)
+
+
+def bench_ablation_baselines(benchmark, report):
+    result = benchmark(ablate_heterogeneous_baselines)
+    report("ablate-baselines", result.render())
+    rows = result.row_map()
+    assert rows["DSGD (equal blocks)"][2] > 3.0
+    benchmark.extra_info["dsgd_equal_vs_hcc"] = rows["DSGD (equal blocks)"][2]
+
+
+def bench_extension_q_rotate(benchmark, report):
+    result = benchmark(extension_q_rotate)
+    report("extension-q-rotate", result.render())
+    by = {(r[0], r[1]): r[2] for r in result.rows}
+    assert by[(4, "Q-rotate")] < by[(4, "Q-only")]
+    benchmark.extra_info["rotation_scaling_1_to_4"] = (
+        by[(1, "Q-rotate")] / by[(4, "Q-rotate")]
+    )

@@ -1,0 +1,40 @@
+"""Benches for the library extensions: adaptivity and energy economics."""
+
+from repro.experiments.ablations import (
+    extension_adaptive,
+    extension_energy,
+    extension_sensitivity,
+)
+
+
+def bench_extension_adaptive(benchmark, report):
+    result = benchmark(extension_adaptive)
+    report("extension-adaptive", result.render())
+    rows = result.row_map()
+    # adaptation must recover a solid chunk of the throttle's damage
+    assert rows["adaptive"][1] < 0.85 * rows["static DP1"][1]
+    assert rows["adaptive"][3] >= 1
+    benchmark.extra_info["recovered_fraction"] = (
+        1 - rows["adaptive"][1] / rows["static DP1"][1]
+    )
+
+
+def bench_extension_energy(benchmark, report):
+    result = benchmark(extension_energy)
+    report("extension-energy", result.render())
+    rows = result.row_map()
+    # GPUs beat the CPU on joules per update; collaboration costs extra
+    # energy for its speed
+    assert rows["2080S"][4] < rows["6242"][4]
+    assert rows["6242-2080S"][3] > rows["2080S"][3]
+    assert rows["6242-2080S"][1] < rows["2080S"][1]
+    benchmark.extra_info["joules_per_mupdate"] = {
+        r[0]: r[4] for r in result.rows
+    }
+
+
+def bench_extension_sensitivity(benchmark, report):
+    result = benchmark.pedantic(extension_sensitivity, rounds=1, iterations=1)
+    report("sensitivity", result.render())
+    util_i = result.headers.index("netflix-utilization")
+    assert all(row[util_i] > 0.8 for row in result.rows)

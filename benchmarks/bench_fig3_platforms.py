@@ -1,0 +1,29 @@
+"""Figure 3: platform survey (a) and prices (b).
+
+Regenerates the motivation experiment: Netflix 20-epoch training time
+on single CPUs/GPUs vs good and bad collaborations, and the hardware
+price chart that makes the economics argument.
+"""
+
+from repro.experiments.figures import fig3a, fig3b
+
+
+def bench_fig3a_platform_survey(benchmark, report):
+    result = benchmark(fig3a)
+    report("fig3a", result.render())
+    rows = result.row_map()
+    # headline shapes (asserted, not just printed)
+    assert rows["6242-2080S"][2] < rows["2080S"][2]
+    assert rows["2080-2080S"][2] < rows["2080S"][2]
+    assert rows["6242-2080S(Bad communication)"][2] > rows["2080S"][2]
+    benchmark.extra_info["best_collab_s"] = rows["2080-2080S"][2]
+    benchmark.extra_info["single_gpu_s"] = rows["2080S"][2]
+
+
+def bench_fig3b_prices(benchmark, report):
+    result = benchmark(fig3b)
+    report("fig3b", result.render())
+    rows = result.row_map()
+    assert rows["6242-2080S"][1] < rows["V100"][1] / 2.5
+    benchmark.extra_info["combo_price"] = rows["6242-2080S"][1]
+    benchmark.extra_info["v100_price"] = rows["V100"][1]

@@ -1,0 +1,27 @@
+"""Figures 5 and 6: epoch timing sequences and the async pipeline."""
+
+import pytest
+
+from repro.experiments.figures import fig5_timing_sequences, fig6_async_pipeline
+
+
+def bench_fig5_timing_sequences(benchmark, report):
+    result = benchmark(fig5_timing_sequences)
+    rendered = result.render()
+    for label, art in result.extra["gantt"].items():
+        rendered += f"\n  -- {label} --\n" + "\n".join(
+            f"  {l}" for l in art.splitlines()
+        )
+    report("fig5", rendered)
+    times = result.column("epoch_time_s")
+    assert times[0] > times[1] > times[2]  # original > DP1 > DP2
+    benchmark.extra_info["epoch_times_s"] = times
+
+
+def bench_fig6_async_pipeline(benchmark, report):
+    result = benchmark(lambda: fig6_async_pipeline(streams=4))
+    report("fig6", result.render())
+    exposed = result.column("exposed_comm_s")
+    # the 1/streams law (paper Figure 6's caption)
+    assert exposed[3] == pytest.approx(exposed[0] / 4, rel=0.05)
+    benchmark.extra_info["exposed_comm_s"] = exposed

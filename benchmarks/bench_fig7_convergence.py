@@ -1,0 +1,32 @@
+"""Figure 7: convergence rate and training speed vs FPSGD / CuMF_SGD.
+
+This is the numeric-plane experiment (real SGD on scaled datasets), so
+it is the slowest bench; it runs one round.
+"""
+
+from repro.experiments.figures import fig7
+
+
+def bench_fig7_convergence(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig7(max_nnz=25_000, epochs=20, k=12, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig7", result.render())
+
+    by = {(r[0], r[1]): r for r in result.rows}
+    for ds in ("Netflix", "R1", "R2"):
+        # HCC is fastest; FPSGD slowest (Figure 7d-f ordering)
+        assert by[(ds, "FPSGD")][4] > by[(ds, "cuMF_SGD")][4] >= 1.0
+    # headline factors (paper: 2.3x and 2.9x vs CuMF_SGD)
+    assert 1.5 < by[("Netflix", "cuMF_SGD")][4] < 3.5
+    assert 2.0 < by[("R2", "cuMF_SGD")][4] < 4.0
+
+    for ds, methods in result.extra["curves"].items():
+        for name, series in methods.items():
+            assert series["rmse"][-1] < series["rmse"][0], (ds, name)
+
+    benchmark.extra_info["speedups_vs_cumf"] = {
+        ds: by[(ds, "cuMF_SGD")][4] for ds in ("Netflix", "R1", "R2")
+    }

@@ -1,0 +1,18 @@
+"""Figure 8: 20-epoch phase stacks under DP0 / DP1 / DP2."""
+
+from repro.experiments.figures import fig8
+
+
+def bench_fig8_partition_strategies(benchmark, report):
+    result = benchmark(fig8)
+    report("fig8", result.render())
+
+    red = result.extra["reductions"]
+    # paper: DP1 cuts ~12.2% on Netflix-4w, ~10% on R2-4w; DP2 ~12.1% on R1*-4w
+    assert 0.05 < red[("Netflix", 4, "dp1")] < 0.25
+    assert 0.05 < red[("R2", 4, "dp1")] < 0.20
+    assert red[("R1*", 4, "dp2")] > 0.05
+
+    benchmark.extra_info["reductions"] = {
+        f"{ds}-{n}w-{s}": round(v, 4) for (ds, n, s), v in red.items()
+    }

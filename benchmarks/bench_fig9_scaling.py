@@ -1,0 +1,28 @@
+"""Figure 9: computing power vs system scale (stacked per worker)."""
+
+from repro.experiments.figures import fig9
+
+
+def bench_fig9_worker_scaling(benchmark, report):
+    result = benchmark(fig9)
+    report("fig9", result.render())
+
+    for ds in ("Netflix", "R2"):
+        by_scale = {}
+        for row in result.rows:
+            if row[0] == ds:
+                by_scale[row[1]] = row[5]
+        scales = sorted(by_scale)
+        assert all(by_scale[b] > by_scale[a] for a, b in zip(scales, scales[1:])), ds
+
+    eff = result.extra["worker_efficiency"]
+    netflix_ordinary = [
+        e for (ds, w), e in eff.items() if ds == "Netflix" and "cpu0w" not in w
+    ]
+    assert min(netflix_ordinary) > 0.7  # paper: >80% of own power
+    r1_vals = [e for (ds, _), e in eff.items() if ds == "R1"]
+    assert max(r1_vals) < 0.7           # paper: ~45% on R1
+
+    benchmark.extra_info["netflix_worker_efficiency"] = {
+        w: round(e, 3) for (ds, w), e in eff.items() if ds == "Netflix"
+    }

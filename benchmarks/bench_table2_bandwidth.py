@@ -1,0 +1,14 @@
+"""Table 2: runtime memory bandwidth, independent worker vs DP0."""
+
+import pytest
+
+from repro.experiments.figures import table2
+
+
+def bench_table2_bandwidth(benchmark, report):
+    result = benchmark(table2)
+    report("table2", result.render())
+    for worker, iw_model, dp0_model, iw_paper, dp0_paper in result.rows:
+        assert iw_model == pytest.approx(iw_paper, rel=0.01), worker
+        assert dp0_model > iw_model  # the partition boost direction
+    benchmark.extra_info["workers"] = [row[0] for row in result.rows]

@@ -1,0 +1,24 @@
+"""Table 4: computing power and utilization across datasets."""
+
+import pytest
+
+from repro.experiments.figures import table4
+
+
+def bench_table4_computing_power(benchmark, report):
+    result = benchmark(table4)
+    report("table4", result.render())
+
+    util = dict(zip(result.column("dataset"), result.column("utilization")))
+    # paper shape: >85% Netflix/R2, mid on R1, lowest on MovieLens
+    assert util["Netflix"] > 0.8
+    assert util["R2"] > 0.8
+    assert 0.35 < util["R1"] < 0.75
+    assert util["MovieLens-20m"] == min(util.values())
+
+    # exact Table 4 single-processor anchors
+    rows = result.row_map()
+    assert rows["Netflix"][5] == pytest.approx(2_592_493_089, rel=0.005)
+    assert rows["R2"][5] == pytest.approx(1_172_502_951, rel=0.005)
+
+    benchmark.extra_info["utilization"] = util

@@ -1,0 +1,27 @@
+"""Table 5: communication time under COMM / COMM-P and each strategy."""
+
+import pytest
+
+from repro.experiments.figures import table5
+
+
+def bench_table5_communication(benchmark, report):
+    result = benchmark(table5)
+    report("table5", result.render())
+
+    rows = {(r[0], r[1], r[2]): r for r in result.rows}
+    # Q-only speedup ordering: Netflix (~18x) >> R2 (~7.5x) > R1 (~2.9x)
+    assert rows[("COMM", "Netflix", "Q")][4] > rows[("COMM", "R2", "Q")][4]
+    assert rows[("COMM", "R2", "Q")][4] > rows[("COMM", "R1", "Q")][4]
+    assert rows[("COMM", "R1", "Q")][4] == pytest.approx(2.7, rel=0.2)
+    # FP16 doubles the Q-only saving
+    for ds in ("Netflix", "R1", "R2"):
+        q, half = rows[("COMM", ds, "Q")][3], rows[("COMM", ds, "half-Q")][3]
+        assert q / half == pytest.approx(2.0, rel=0.05)
+    # COMM ~7x faster than ps-lite COMM-P
+    ratio = rows[("COMM-P", "Netflix", "P&Q")][3] / rows[("COMM", "Netflix", "P&Q")][3]
+    assert 5.5 < ratio < 8.5
+
+    benchmark.extra_info["q_only_speedups"] = {
+        ds: rows[("COMM", ds, "Q")][4] for ds in ("Netflix", "R1", "R2")
+    }

@@ -1,0 +1,49 @@
+"""What-if platform sweeps: GPU counts, interconnects, channel contention."""
+
+import pytest
+
+from repro.data.datasets import MOVIELENS_20M, NETFLIX
+from repro.experiments.whatif import (
+    sweep_channel_contention,
+    sweep_gpu_count,
+    sweep_interconnect,
+)
+
+
+def bench_whatif_gpu_count(benchmark, report):
+    rows = benchmark(lambda: sweep_gpu_count(MOVIELENS_20M, max_gpus=6))
+    lines = [f"{r.label:30s} {r.total_time:7.3f}s  util {r.utilization:6.1%}" for r in rows]
+    report("whatif-gpu-count", "[whatif] GPUs added to MovieLens-20m\n" + "\n".join(lines))
+    times = [r.total_time for r in rows]
+    # the generalized Table 6: scaling flattens, then reverses
+    assert min(times) == min(times[2:5])
+    assert times[5] > min(times)
+
+
+def bench_whatif_interconnect(benchmark, report):
+    rows = benchmark(lambda: sweep_interconnect(MOVIELENS_20M))
+    lines = [f"{r.label:30s} {r.total_time:7.3f}s" for r in rows]
+    report("whatif-interconnect", "[whatif] interconnect generations\n" + "\n".join(lines))
+    by = {r.label: r.total_time for r in rows}
+    assert by["2x 2080S over nvlink"] < by["2x 2080S over pcie4"] < by["2x 2080S over pcie3"]
+
+
+def bench_whatif_contention(benchmark, report):
+    rows = benchmark(lambda: sweep_channel_contention(MOVIELENS_20M, max_gpus=3))
+    lines = [f"{r.label:32s} {r.total_time:7.3f}s  util {r.utilization:6.1%}" for r in rows]
+    report("whatif-contention", "[whatif] exclusive slots vs one shared link\n" + "\n".join(lines))
+    by = {r.label: r.total_time for r in rows}
+    # Figure 2's caveat quantified: a shared link breaks worker scaling
+    assert by["3x 2080S, shared link"] > by["3x 2080S, exclusive slots"]
+    assert by["3x 2080S, shared link"] > 0.9 * by["1x 2080S, shared link"]
+
+
+def bench_whatif_netflix_scales_clean(benchmark, report):
+    rows = benchmark(lambda: sweep_gpu_count(NETFLIX, max_gpus=4))
+    times = [r.total_time for r in rows]
+    report(
+        "whatif-netflix",
+        "[whatif] GPUs added to Netflix (compute-bound: clean scaling)\n"
+        + "\n".join(f"{r.label:30s} {r.total_time:7.3f}s" for r in rows),
+    )
+    assert times[3] < 0.5 * times[0]

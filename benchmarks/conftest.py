@@ -1,0 +1,37 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures;
+``pytest benchmarks/ --benchmark-only`` times the generators and prints
+the reproduced rows (the same rows/series the paper reports) at the end
+of the session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: rendered experiment tables collected during the run, printed at exit
+_REPORTS: dict[str, str] = {}
+
+
+def record_report(experiment_id: str, rendered: str) -> None:
+    """Stash a rendered experiment table for the session summary."""
+    _REPORTS[experiment_id] = rendered
+
+
+@pytest.fixture
+def report():
+    return record_report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORTS:
+        return
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    if tr is None:  # pragma: no cover
+        return
+    tr.section("reproduced paper tables & figures")
+    for exp_id in sorted(_REPORTS):
+        tr.write_line("")
+        for line in _REPORTS[exp_id].splitlines():
+            tr.write_line(line)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Online load re-balancing under a runtime slowdown.
+
+The paper's DP1 (Algorithm 1) runs once, before training — but a GPU
+that thermally throttles mid-run turns a balanced partition into a
+straggler party.  This example injects a 2x throttle on the 2080S at
+epoch 5 and compares a static DP1 run against the adaptive controller
+(`repro.core.adaptive`), which re-solves Eq. 6 from the observed epoch
+times.
+
+Run:  python examples/adaptive_rebalancing.py
+"""
+
+from repro.core.adaptive import SlowdownEvent, simulate_adaptive_run
+from repro.data.datasets import NETFLIX
+from repro.hardware.topology import paper_workstation
+
+
+def spark(values, width: int = 50) -> str:
+    """Crude per-epoch bar chart."""
+    peak = max(values)
+    return "\n".join(
+        f"  epoch {i:2d} |{'#' * int(v / peak * width):<{width}}| {v * 1e3:6.1f} ms"
+        for i, v in enumerate(values)
+    )
+
+
+def main() -> None:
+    platform = paper_workstation(16)
+    events = [SlowdownEvent(worker_index=2, epoch=5, factor=0.5)]
+    print("scenario: the RTX 2080S throttles to half speed at epoch 5\n")
+
+    static = simulate_adaptive_run(platform, NETFLIX, events, epochs=16, adaptive=False)
+    adaptive = simulate_adaptive_run(platform, NETFLIX, events, epochs=16, adaptive=True)
+
+    print("static DP1 partition (epoch times):")
+    print(spark(static.epoch_totals))
+    print(f"\nadaptive (re-partitioned at epochs {adaptive.repartition_epochs}):")
+    print(spark(adaptive.epoch_totals))
+
+    saving = 1 - adaptive.total_time / static.total_time
+    print(f"\ntotals: static {static.total_time:.3f}s, "
+          f"adaptive {adaptive.total_time:.3f}s ({saving:.0%} recovered)")
+    print("\nAlgorithm 1 only needs measured epoch times, so the same")
+    print("compensation loop the paper runs offline doubles as a runtime")
+    print("controller — no new mechanism required.")
+
+
+if __name__ == "__main__":
+    main()

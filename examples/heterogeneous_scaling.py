@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Scaling study: computing power as heterogeneous workers join (Fig. 9).
+
+Adds the testbed's processors one at a time — 2080S, 6242, 2080, then
+the time-shared 6242L — and prints how much of each worker's ideal
+computing power the collaboration actually harvests, per dataset.
+
+Run:  python examples/heterogeneous_scaling.py
+"""
+
+from repro import HCCConfig, HCCMF
+from repro.data.datasets import NETFLIX, R1_STAR, YAHOO_R1, YAHOO_R2
+from repro.experiments.platforms import workers_platform
+
+
+def scale_study(spec, max_workers: int = 4) -> None:
+    print(f"=== {spec.name} ===")
+    previous_total = 0.0
+    for n in range(1, max_workers + 1):
+        platform = workers_platform(n)
+        result = HCCMF(platform, spec, HCCConfig(k=128, epochs=20)).train()
+        added = platform.workers[-1]
+        gain = result.power - previous_total
+        previous_total = result.power
+        print(f"  {n} worker(s): {result.power / 1e6:8.1f} M updates/s "
+              f"(ideal {result.ideal_power / 1e6:8.1f} M, "
+              f"util {result.utilization:5.1%}) "
+              f"— adding {added.name} contributed {gain / 1e6:+7.1f} M")
+    print()
+
+
+def main() -> None:
+    for spec in (NETFLIX, YAHOO_R2):
+        scale_study(spec)
+    # R1: the paper's Figure 9(c) stops at three workers — the 4th
+    # (time-shared) worker's extra sync merge cancels its capacity
+    scale_study(YAHOO_R1, max_workers=3)
+    scale_study(R1_STAR)
+
+    print("paper shape: power rises with every worker; ordinary workers")
+    print("contribute >80% of their own power on Netflix/R2, ~45% on R1.")
+
+
+if __name__ == "__main__":
+    main()

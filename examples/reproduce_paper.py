@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs all eleven experiment generators (Figure 3 through Table 6) and
+prints their rendered tables; pass ``--fast`` to shrink the numeric
+Figure 7 run, or experiment ids to run a subset:
+
+    python examples/reproduce_paper.py
+    python examples/reproduce_paper.py --fast table4 fig8
+"""
+
+import sys
+import time
+
+from repro.experiments.figures import ALL_EXPERIMENTS, fig7
+
+
+def main(argv: list[str]) -> None:
+    fast = "--fast" in argv
+    wanted = [a for a in argv if not a.startswith("-")]
+    ids = wanted if wanted else list(ALL_EXPERIMENTS)
+
+    unknown = set(ids) - set(ALL_EXPERIMENTS)
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment ids {sorted(unknown)}; "
+            f"available: {sorted(ALL_EXPERIMENTS)}"
+        )
+
+    for exp_id in ids:
+        generator = ALL_EXPERIMENTS[exp_id]
+        t0 = time.perf_counter()
+        if exp_id == "fig7" and fast:
+            result = fig7(max_nnz=10_000, epochs=8, k=8)
+        else:
+            result = generator()
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        if "gantt" in result.extra:
+            for label, art in result.extra["gantt"].items():
+                print(f"\n  -- {label} --")
+                for line in str(art).splitlines():
+                    print(f"  {line}")
+        if "curves" in result.extra:
+            from repro.experiments.plots import convergence_chart
+
+            for dataset, curves in result.extra["curves"].items():
+                print(f"\n  -- {dataset}: RMSE vs modeled time (Fig. 7d-f) --")
+                for line in convergence_chart(curves, against="time").splitlines():
+                    print(f"  {line}")
+        print(f"\n  ({elapsed:.1f}s)\n{'=' * 78}\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

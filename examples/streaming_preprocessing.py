@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Out-of-core preprocessing: the paper's step 1 for files that don't fit.
+
+Full-scale rating files (R2 is ~9 GB of text) cannot be shuffled in
+memory on a workstation.  This example writes a rating file, profiles
+it in a single streaming pass, disk-shuffles it with bounded memory,
+and trains from the shuffled file — the complete preprocessing pipeline
+of paper Figure 4's steps 1-3, file-backed.
+
+Run:  python examples/streaming_preprocessing.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.data.datasets import NETFLIX
+from repro.data.io import load_text, save_text
+from repro.data.streaming import (
+    count_statistics,
+    external_shuffle,
+    stream_text_batches,
+)
+from repro.mf.sgd import HogwildSGD
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="hccmf-streaming-"))
+    raw = workdir / "ratings.txt"
+    shuffled = workdir / "ratings.shuffled.txt"
+
+    ratings = NETFLIX.scaled(60_000).generate(seed=3)
+    save_text(ratings, raw)
+    print(f"wrote {raw} ({raw.stat().st_size / 1e6:.1f} MB)")
+
+    # single-pass statistics, no materialization
+    stats = count_statistics(raw)
+    print(f"\nstreamed stats: {stats.m:,} x {stats.n:,}, nnz {stats.nnz:,}, "
+          f"mean rating {stats.mean:.2f}, nnz/(m+n) {stats.reuse_ratio:,.0f}")
+
+    # the paper's preprocessing step 1, bounded-memory
+    moved = external_shuffle(raw, shuffled, buckets=8, seed=3)
+    print(f"external shuffle: {moved:,} lines through 8 disk buckets "
+          f"(peak memory ~1/8 of the file)")
+
+    # bounded-memory iteration: e.g. feeding an out-of-core trainer
+    chunk_sizes = [b.nnz for b in stream_text_batches(shuffled, batch_size=16_384)]
+    print(f"stream batches: {len(chunk_sizes)} chunks, "
+          f"largest {max(chunk_sizes):,} entries")
+
+    # train from the shuffled file
+    data = load_text(shuffled)
+    h = HogwildSGD(k=16, lr=0.01, reg=0.01, seed=3)
+    h.fit(data, epochs=6)
+    curve = " -> ".join(f"{r:.3f}" for r in h.history.rmse)
+    print(f"\ntraining from the shuffled file: rmse {curve}")
+
+    for p in (raw, shuffled):
+        p.unlink()
+    workdir.rmdir()
+    print("\n(temporary files cleaned up)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table & figure.
+
+Run from the repository root:
+
+    python scripts/generate_experiments_md.py > EXPERIMENTS.md
+
+The content comes from :func:`repro.experiments.report.build_markdown_report`;
+pass ``--fast`` to shrink the numeric Figure 7 run.
+"""
+
+import sys
+
+from repro.experiments.report import build_markdown_report
+
+
+def main(argv: list[str]) -> None:
+    fig7_kwargs = None
+    if "--fast" in argv:
+        fig7_kwargs = {"max_nnz": 12_000, "epochs": 12, "k": 8}
+    print(build_markdown_report(fig7_kwargs=fig7_kwargs), end="")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,97 @@
+"""HCC-MF: multi-CPU/GPU collaborative computing for SGD-based MF.
+
+A reproduction of Huang et al., "A Novel Multi-CPU/GPU Collaborative
+Computing Framework for SGD-based Matrix Factorization" (ICPP 2021).
+
+Quickstart::
+
+    from repro import HCCMF, HCCConfig, NETFLIX, paper_workstation
+
+    ratings = NETFLIX.scaled(50_000).generate(seed=0)
+    hcc = HCCMF(paper_workstation(), NETFLIX, HCCConfig(k=16, epochs=10),
+                ratings=ratings)
+    result = hcc.train()
+    print(result.rmse_history[-1], result.utilization)
+
+Subpackages:
+
+* :mod:`repro.core` — the HCC-MF framework: cost model, DP0/DP1/DP2
+  partitioning, communication strategies, parameter server.
+* :mod:`repro.mf` — SGD-based MF algorithms (Hogwild, FPSGD, CuMF_SGD).
+* :mod:`repro.hardware` — the calibrated multi-CPU/GPU platform model.
+* :mod:`repro.data` — rating matrices, synthetic datasets, grids.
+* :mod:`repro.parallel` — real shared-memory multi-process execution.
+* :mod:`repro.experiments` — regenerates every paper table and figure.
+"""
+
+from repro.core import (
+    HCCMF,
+    HCCConfig,
+    CommConfig,
+    PartitionStrategy,
+    TransmitMode,
+    CommBackendKind,
+    TrainResult,
+    TimeCostModel,
+    PartitionPlan,
+    dp0,
+    dp1,
+    dp2,
+    computing_power,
+    utilization,
+)
+from repro.data import (
+    RatingMatrix,
+    DatasetSpec,
+    NETFLIX,
+    YAHOO_R1,
+    R1_STAR,
+    YAHOO_R2,
+    MOVIELENS_20M,
+    generate_low_rank,
+)
+from repro.hardware import (
+    Platform,
+    Processor,
+    paper_workstation,
+    single_processor,
+)
+from repro.mf import MFModel, HogwildSGD, FPSGD, CuMFSGD
+from repro.parallel import SharedMemoryTrainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HCCMF",
+    "HCCConfig",
+    "CommConfig",
+    "PartitionStrategy",
+    "TransmitMode",
+    "CommBackendKind",
+    "TrainResult",
+    "TimeCostModel",
+    "PartitionPlan",
+    "dp0",
+    "dp1",
+    "dp2",
+    "computing_power",
+    "utilization",
+    "RatingMatrix",
+    "DatasetSpec",
+    "NETFLIX",
+    "YAHOO_R1",
+    "R1_STAR",
+    "YAHOO_R2",
+    "MOVIELENS_20M",
+    "generate_low_rank",
+    "Platform",
+    "Processor",
+    "paper_workstation",
+    "single_processor",
+    "MFModel",
+    "HogwildSGD",
+    "FPSGD",
+    "CuMFSGD",
+    "SharedMemoryTrainer",
+    "__version__",
+]

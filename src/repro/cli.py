@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the Table 3 dataset registry with shape statistics.
+``platforms``
+    Describe the canonical platform configurations.
+``train``
+    Run one HCC-MF training (numeric + timing planes) and print the
+    convergence curve, partition, and utilization.
+``autotune``
+    Search the strategy space (transmit x FP16 x streams) for a dataset
+    and report the predicted-fastest stack plus advice.
+``analyze``
+    Profile a dataset's structure (reuse, skew, conflict probability)
+    and print the recommended strategy stack.
+``reproduce``
+    Regenerate paper tables/figures (all, or selected ids).
+``ablate``
+    Run the ablation sweeps (all, or selected ids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.data.datasets import DATASETS
+    from repro.experiments.tables import render_table
+
+    rows = [
+        [s.name, s.m, s.n, s.nnz, s.reg, f"{s.rating_min:g}-{s.rating_max:g}",
+         f"{s.reuse_ratio:,.0f}"]
+        for s in DATASETS.values()
+    ]
+    print(render_table(
+        ["dataset", "m", "n", "nnz", "reg", "scale", "nnz/(m+n)"],
+        rows, title="Table 3 dataset registry",
+    ))
+    return 0
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    from repro.experiments.platforms import (
+        hetero_platform,
+        overall_platform,
+        workers_platform,
+    )
+
+    for label, platform in (
+        ("overall performance (CPU_0 @ 16T)", overall_platform()),
+        ("heterogeneity (CPU_0 @ 10T)", hetero_platform()),
+        ("3-worker scaling config", workers_platform(3)),
+    ):
+        print(f"== {label} ==")
+        print(platform.describe())
+        print(f"hardware cost: ${platform.total_price():,.0f}\n")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.config import CommConfig, HCCConfig, PartitionStrategy, TransmitMode
+    from repro.core.framework import HCCMF
+    from repro.data.datasets import get_dataset
+    from repro.experiments.platforms import overall_platform
+
+    spec = get_dataset(args.dataset)
+    ratings = None
+    if not args.timing_only:
+        ratings = spec.scaled(args.nnz).generate(seed=args.seed)
+    config = HCCConfig(
+        k=args.k,
+        epochs=args.epochs,
+        learning_rate=args.lr,
+        seed=args.seed,
+        partition=PartitionStrategy(args.partition),
+        comm=CommConfig(
+            transmit=TransmitMode(args.transmit),
+            fp16=args.fp16,
+            streams=args.streams,
+        ),
+    )
+    hcc = HCCMF(overall_platform(), spec, config, ratings=ratings)
+    result = hcc.train()
+
+    print(f"dataset: {spec.name}  partition: {result.plan.strategy} "
+          f"({result.regime.value})")
+    for worker, frac in zip(hcc.platform.workers, result.plan.fractions):
+        print(f"  {worker.name:18s} {frac:6.1%}")
+    if result.rmse_history:
+        print("rmse:", " ".join(f"{r:.4f}" for r in result.rmse_history))
+    print(f"modeled time: {result.total_time:.3f}s for {result.epochs} epochs "
+          f"({result.utilization:.0%} of ideal computing power)")
+    if args.trace:
+        from repro.hardware.trace import export_chrome_trace
+
+        n = export_chrome_trace(result.timeline, args.trace)
+        print(f"wrote {n} trace events to {args.trace} (open in chrome://tracing)")
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    from repro.core.autotune import autotune
+    from repro.data.datasets import get_dataset
+    from repro.experiments.platforms import overall_platform
+    from repro.experiments.tables import render_table
+
+    spec = get_dataset(args.dataset)
+    report = autotune(
+        overall_platform(), spec, k=args.k, epochs=args.epochs,
+        include_rotation=not args.no_rotation,
+    )
+    rows = [
+        [t.label, t.total_time, t.epoch_time * 1e3, f"{t.utilization_proxy:.1%}"]
+        for t in report.ranking
+    ]
+    print(render_table(
+        ["strategy stack", "total_s", "epoch_ms", "busy"],
+        rows, title=f"auto-tuning {spec.name} ({args.epochs} epochs, k={args.k})",
+    ))
+    print(f"\nbest: {report.best.label}")
+    print(f"advice: {report.advice}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.data.analysis import profile, render_profile
+    from repro.data.datasets import get_dataset
+    from repro.data.io import load_movielens_csv, load_npz, load_text
+
+    if args.file:
+        path = args.file
+        if path.endswith(".npz"):
+            ratings = load_npz(path)
+        elif path.endswith(".csv"):
+            ratings, _, _ = load_movielens_csv(path)
+        else:
+            ratings = load_text(path)
+        print(f"file: {path}")
+    else:
+        spec = get_dataset(args.dataset).scaled(args.nnz)
+        ratings = spec.generate(seed=args.seed)
+        print(f"synthetic: {spec.name}")
+    print(render_profile(profile(ratings)))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ALL_EXPERIMENTS
+
+    ids = args.ids or list(ALL_EXPERIMENTS)
+    unknown = set(ids) - set(ALL_EXPERIMENTS)
+    if unknown:
+        print(f"unknown experiment ids: {sorted(unknown)}", file=sys.stderr)
+        print(f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        print(ALL_EXPERIMENTS[exp_id]().render())
+        print()
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import ALL_ABLATIONS
+
+    ids = args.ids or list(ALL_ABLATIONS)
+    unknown = set(ids) - set(ALL_ABLATIONS)
+    if unknown:
+        print(f"unknown ablation ids: {sorted(unknown)}", file=sys.stderr)
+        print(f"available: {sorted(ALL_ABLATIONS)}", file=sys.stderr)
+        return 2
+    for ab_id in ids:
+        print(ALL_ABLATIONS[ab_id]().render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HCC-MF: multi-CPU/GPU collaborative SGD-based matrix factorization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table 3 dataset registry")
+    sub.add_parser("platforms", help="describe the canonical platforms")
+
+    train = sub.add_parser("train", help="run one HCC-MF training")
+    train.add_argument("--dataset", default="Netflix", help="Table 3 name")
+    train.add_argument("--nnz", type=int, default=50_000,
+                       help="scaled dataset size for the numeric plane")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--k", type=int, default=16, help="latent dimension")
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--partition", default="auto",
+                       choices=["auto", "even", "dp0", "dp1", "dp2"])
+    train.add_argument("--transmit", default="auto",
+                       choices=["auto", "pq", "q", "q-rotate"])
+    train.add_argument("--fp16", action="store_true", help="FP16 wire (Strategy 2)")
+    train.add_argument("--streams", type=int, default=1,
+                       help="async streams (Strategy 3)")
+    train.add_argument("--timing-only", action="store_true",
+                       help="skip the numeric plane")
+    train.add_argument("--trace", metavar="FILE",
+                       help="write a chrome://tracing JSON of the timeline")
+
+    an = sub.add_parser("analyze", help="profile a dataset's structure")
+    an.add_argument("--dataset", default="Netflix", help="Table 3 name (synthetic)")
+    an.add_argument("--nnz", type=int, default=50_000, help="synthetic scale")
+    an.add_argument("--seed", type=int, default=0)
+    an.add_argument("--file", help="rating file (.txt triples, .csv MovieLens, .npz)")
+
+    tune = sub.add_parser("autotune", help="search the strategy space for a dataset")
+    tune.add_argument("--dataset", default="Netflix", help="Table 3 name")
+    tune.add_argument("--k", type=int, default=128)
+    tune.add_argument("--epochs", type=int, default=20)
+    tune.add_argument("--no-rotation", action="store_true",
+                      help="exclude the future-work Q-rotate mode")
+
+    rep = sub.add_parser("reproduce", help="regenerate paper tables/figures")
+    rep.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+
+    abl = sub.add_parser("ablate", help="run ablation sweeps")
+    abl.add_argument("ids", nargs="*", help="ablation ids (default: all)")
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "platforms": _cmd_platforms,
+    "train": _cmd_train,
+    "autotune": _cmd_autotune,
+    "analyze": _cmd_analyze,
+    "reproduce": _cmd_reproduce,
+    "ablate": _cmd_ablate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Model checkpointing: save, load, and resume MF training.
+
+Long MF runs on big platforms want durable state: the factor matrices,
+the training hyper-parameters, and enough history to resume.  The
+format is a single NPZ (exact FP32 round-trip) plus a JSON sidecar of
+metadata, which keeps checkpoints greppable and forward-compatible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.mf.model import MFModel
+
+#: bump when the on-disk layout changes
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """A saved training state."""
+
+    model: MFModel
+    epoch: int
+    rmse_history: list[float] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError("epoch must be non-negative")
+
+
+def _paths(path: str | os.PathLike) -> tuple[Path, Path]:
+    base = Path(path)
+    if base.suffix == ".npz":
+        base = base.with_suffix("")
+    return base.with_suffix(".npz"), base.with_suffix(".json")
+
+
+def save_checkpoint(ckpt: Checkpoint, path: str | os.PathLike) -> None:
+    """Write ``<path>.npz`` (factors) and ``<path>.json`` (metadata)."""
+    npz_path, json_path = _paths(path)
+    np.savez_compressed(npz_path, P=ckpt.model.P, Q=ckpt.model.Q)
+    meta = {
+        "version": ckpt.version,
+        "epoch": ckpt.epoch,
+        "rmse_history": [float(r) for r in ckpt.rmse_history],
+        "config": ckpt.config,
+        "shape": {"m": ckpt.model.m, "n": ckpt.model.n, "k": ckpt.model.k},
+    }
+    json_path.write_text(json.dumps(meta, indent=2))
+
+
+def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
+    """Read a checkpoint pair back; validates version and shapes."""
+    npz_path, json_path = _paths(path)
+    if not npz_path.exists() or not json_path.exists():
+        raise FileNotFoundError(f"incomplete checkpoint at {npz_path.with_suffix('')}")
+    meta = json.loads(json_path.read_text())
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {meta.get('version')} != {CHECKPOINT_VERSION}"
+        )
+    with np.load(npz_path) as data:
+        model = MFModel(data["P"], data["Q"])
+    shape = meta.get("shape", {})
+    if shape and (model.m, model.n, model.k) != (shape["m"], shape["n"], shape["k"]):
+        raise ValueError("checkpoint metadata disagrees with stored factors")
+    return Checkpoint(
+        model=model,
+        epoch=int(meta["epoch"]),
+        rmse_history=[float(r) for r in meta.get("rmse_history", [])],
+        config=meta.get("config", {}),
+        version=int(meta["version"]),
+    )
+
+
+def resume_hogwild(
+    ckpt: Checkpoint,
+    ratings,
+    extra_epochs: int,
+    lr: float | None = None,
+    reg: float | None = None,
+    seed: int | None = None,
+):
+    """Continue Hogwild training from a checkpoint.
+
+    Returns an updated :class:`Checkpoint` whose history appends the new
+    epochs'.  Hyper-parameters default to the checkpoint's stored config.
+    """
+    from repro.mf.kernels import sgd_epoch
+
+    if extra_epochs <= 0:
+        raise ValueError("extra_epochs must be positive")
+    cfg = ckpt.config
+    lr = lr if lr is not None else float(cfg.get("lr", 0.005))
+    reg = reg if reg is not None else float(cfg.get("reg", 0.01))
+    seed = seed if seed is not None else int(cfg.get("seed", 0))
+    batch = int(cfg.get("batch_size", 4096))
+
+    rng = np.random.default_rng(seed + ckpt.epoch)  # new stream per resume
+    history = list(ckpt.rmse_history)
+    for _ in range(extra_epochs):
+        sgd_epoch(ckpt.model, ratings, lr, reg, batch_size=batch, rng=rng)
+        history.append(ckpt.model.rmse(ratings))
+    return Checkpoint(
+        model=ckpt.model,
+        epoch=ckpt.epoch + extra_epochs,
+        rmse_history=history,
+        config={**cfg, "lr": lr, "reg": reg, "seed": seed, "batch_size": batch},
+    )

@@ -1,0 +1,203 @@
+"""The COMM module: pull/push transfer accounting and buffers (paper 3.5).
+
+Two responsibilities:
+
+* **Cost accounting** — :class:`CommPlan` computes how many bytes each
+  worker moves per epoch under the active strategies (Q-only, FP16),
+  and :class:`CommModel` turns bytes into seconds for either backend:
+
+  - ``COMM``: HCC-MF's shared-pinned-memory module.  The pull buffer is
+    mapped into every worker and the push buffers into the server, so a
+    transfer is one copy at full channel bandwidth.
+  - ``COMM_P``: the ps-lite-based baseline of Table 5.  Parameter-server
+    messaging serializes key/value pairs, crosses the kernel, and makes
+    temporary copies; calibrated to Table 5's measured ~7x slowdown.
+
+* **Buffer discipline** — :class:`PullBuffer` / :class:`PushBuffer` are
+  the actual shared buffers the in-process executor uses.  They count
+  copies so tests can assert the paper's "data copy usually happens only
+  once in one epoch" property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compression import compress_fp16, decompress_fp16, wire_bytes
+from repro.core.config import CommBackendKind, CommConfig, TransmitMode
+from repro.data.datasets import DatasetSpec
+from repro.hardware.specs import BusSpec
+
+#: COMM-P calibration (Table 5): ps-lite-style messaging achieves about
+#: 1/7 of the raw channel bandwidth (extra serialization copies + kernel
+#: crossings) and pays a per-message software overhead.
+COMM_P_BANDWIDTH_FACTOR = 1.0 / 6.8
+COMM_P_MESSAGE_OVERHEAD_S = 250e-6
+
+
+@dataclass(frozen=True)
+class CommPlan:
+    """Per-epoch wire traffic of one worker under a strategy set.
+
+    All quantities in bytes.  ``epoch_pull``/``epoch_push`` recur every
+    epoch; ``final_push_extra`` is paid once at the end of training
+    (the P matrix under "transmit Q only").
+    """
+
+    epoch_pull: int
+    epoch_push: int
+    final_push_extra: int
+    sync_values: int  # feature values the server merges per worker sync
+
+    @classmethod
+    def for_dataset(cls, spec: DatasetSpec, k: int, comm: CommConfig) -> "CommPlan":
+        """Traffic plan from the dataset shape and strategy switches.
+
+        With a row grid and Q-only transmission only the ``k x n`` item
+        matrix travels each epoch and the server merges only Q; the
+        ``m x k`` user matrix is pushed once after the last epoch.
+        The AUTO transmit mode resolves against the *grid-major* side:
+        HCC-MF transposes column-grid problems, so the recurring matrix
+        is whichever side is smaller.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        mode = comm.resolve_transmit(spec.m, spec.n)
+        big, small = max(spec.m, spec.n), min(spec.m, spec.n)
+        if mode is TransmitMode.Q_ONLY:
+            recurring_values = k * small
+            final_extra = wire_bytes(k * big, comm.fp16)
+            sync_values = k * small
+        elif mode is TransmitMode.Q_ROTATE:
+            # ring-rotated ownership (future-work mode): per epoch each
+            # worker receives and forwards (p-1)/p ~ 1 full circulation
+            # of Q — same gross bytes as Q_ONLY — but the transfers are
+            # peer-to-peer hops of Q/p each, which overlap the rotation
+            # steps' compute, and block ownership removes the server
+            # merge (sync) entirely.
+            recurring_values = k * small
+            final_extra = wire_bytes(k * big + k * small, comm.fp16)
+            sync_values = 0
+        else:
+            recurring_values = k * (spec.m + spec.n)
+            final_extra = 0
+            sync_values = k * (spec.m + spec.n)
+        nbytes = wire_bytes(recurring_values, comm.fp16)
+        return cls(
+            epoch_pull=nbytes,
+            epoch_push=nbytes,
+            final_push_extra=final_extra,
+            sync_values=sync_values,
+        )
+
+    def total_bytes(self, epochs: int) -> int:
+        """All bytes one worker moves over a full training run."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        return epochs * (self.epoch_pull + self.epoch_push) + self.final_push_extra
+
+
+class CommModel:
+    """Transfer-time model for a communication backend."""
+
+    def __init__(self, backend: CommBackendKind = CommBackendKind.COMM):
+        self.backend = backend
+
+    def transfer_time(self, bus: BusSpec, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` between a worker and the server."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        if self.backend is CommBackendKind.COMM:
+            # shared pinned memory: one copy at channel bandwidth
+            return bus.transfer_time(nbytes)
+        # ps-lite path: reduced effective bandwidth + per-message overhead
+        return (
+            COMM_P_MESSAGE_OVERHEAD_S
+            + bus.latency_us * 1e-6
+            + nbytes / (bus.bandwidth_gbs * 1e9 * COMM_P_BANDWIDTH_FACTOR)
+        )
+
+    def pull_time(self, bus: BusSpec, plan: CommPlan) -> float:
+        return self.transfer_time(bus, plan.epoch_pull)
+
+    def push_time(self, bus: BusSpec, plan: CommPlan) -> float:
+        return self.transfer_time(bus, plan.epoch_push)
+
+
+# ---------------------------------------------------------------------------
+# real buffers (used by the in-process and shared-memory executors)
+# ---------------------------------------------------------------------------
+class PullBuffer:
+    """Server-side buffer that workers map and read (one copy to fill).
+
+    The server deposits the current global Q (optionally FP16) once per
+    epoch; every worker reads the same buffer, so the per-epoch copy
+    count on the server side is exactly one.
+    """
+
+    def __init__(self, shape: tuple[int, ...], fp16: bool = False):
+        self.fp16 = fp16
+        dtype = np.float16 if fp16 else np.float32
+        self._buf = np.zeros(shape, dtype=dtype)
+        self.copies_in = 0
+        self.reads = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self._buf.nbytes
+
+    def deposit(self, values: np.ndarray) -> None:
+        """Server -> buffer (the single per-epoch copy)."""
+        if values.shape != self._buf.shape:
+            raise ValueError(f"shape mismatch: {values.shape} vs {self._buf.shape}")
+        if self.fp16:
+            np.copyto(self._buf, compress_fp16(values))
+        else:
+            np.copyto(self._buf, values.astype(np.float32, copy=False))
+        self.copies_in += 1
+
+    def read(self) -> np.ndarray:
+        """Worker view of the buffer contents, decompressed to FP32."""
+        self.reads += 1
+        if self.fp16:
+            return decompress_fp16(self._buf)
+        return self._buf.copy()
+
+
+class PushBuffer:
+    """Per-worker buffer mapped into the server's address space.
+
+    The worker deposits its updated local Q once; the server consumes
+    it in place during sync (no further copy).
+    """
+
+    def __init__(self, shape: tuple[int, ...], fp16: bool = False):
+        self.fp16 = fp16
+        dtype = np.float16 if fp16 else np.float32
+        self._buf = np.zeros(shape, dtype=dtype)
+        self.copies_in = 0
+        self.consumed = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self._buf.nbytes
+
+    def deposit(self, values: np.ndarray) -> None:
+        if values.shape != self._buf.shape:
+            raise ValueError(f"shape mismatch: {values.shape} vs {self._buf.shape}")
+        if self.fp16:
+            np.copyto(self._buf, compress_fp16(values))
+        else:
+            np.copyto(self._buf, values.astype(np.float32, copy=False))
+        self.copies_in += 1
+
+    def consume(self) -> np.ndarray:
+        """Server-side view for the sync merge (FP32)."""
+        self.consumed += 1
+        if self.fp16:
+            return decompress_fp16(self._buf)
+        return self._buf  # in-place consumption: zero-copy

@@ -1,0 +1,311 @@
+"""HCC-MF: the collaborative training framework (paper Figure 4).
+
+Ties everything together:
+
+1. **Preprocess** (steps 1-3): shuffle the rating matrix, pick the grid
+   orientation, derive the data partition (DP0 -> DP1 -> DP2 per the
+   cost-model regime), and build per-worker assignments.
+2. **Train** (steps 4-7): per epoch, workers pull the feature matrix,
+   compute asynchronous SGD on their shards, push results; the server
+   synchronizes with the weighted multiply-add merge.
+
+Two execution planes run side by side:
+
+* the **numeric plane** — real SGD on (scaled) rating data, producing
+  the RMSE convergence curves of Figure 7;
+* the **timing plane** — the calibrated cost model at the full-scale
+  dataset shape, producing epoch times, phase breakdowns (Figure 8),
+  communication totals (Table 5) and computing-power utilization
+  (Table 4 / Figure 9).
+
+Pass ``ratings=None`` to run the timing plane alone (used by the
+benchmark harness when convergence is not under study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.comm import CommPlan
+from repro.core.config import HCCConfig, TransmitMode
+from repro.core.cost_model import EpochCost, Regime, TimeCostModel
+from repro.core.metrics import computing_power, ideal_computing_power, utilization
+from repro.core.partition import PartitionPlan
+from repro.core.server import ParameterServer
+from repro.core.worker import WorkerRuntime
+from repro.data.datasets import DatasetSpec
+from repro.data.grid import GridKind, choose_grid, partition_rows
+from repro.data.ratings import RatingMatrix
+from repro.hardware.timeline import Phase, Timeline
+from repro.hardware.topology import Platform
+from repro.mf.model import MFModel
+
+
+@dataclass
+class TrainResult:
+    """Everything a training run produced (simulated time + numerics)."""
+
+    dataset: DatasetSpec
+    epochs: int
+    plan: PartitionPlan
+    regime: Regime
+    epoch_cost: EpochCost
+    total_time: float                       # simulated seconds, full run
+    comm_time: float                        # cumulative pull+push, all workers
+    pull_time: float
+    push_time: float
+    sync_time_total: float
+    phase_totals: dict[str, dict[str, float]]
+    power: float
+    ideal_power: float
+    utilization: float
+    worker_powers: dict[str, float]
+    timeline: Timeline = field(repr=False)
+    rmse_history: list[float] = field(default_factory=list)
+    model: MFModel | None = field(default=None, repr=False)
+
+    @property
+    def final_rmse(self) -> float:
+        if not self.rmse_history:
+            raise ValueError("run had no numeric plane")
+        return self.rmse_history[-1]
+
+    def time_axis(self) -> list[float]:
+        """Simulated cumulative time at the end of each epoch (Fig. 7d-f)."""
+        per_epoch = self.total_time / self.epochs
+        return [per_epoch * (i + 1) for i in range(self.epochs)]
+
+
+class HCCMF:
+    """The heterogeneous collaborative computing framework."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        dataset: DatasetSpec,
+        config: HCCConfig | None = None,
+        ratings: RatingMatrix | None = None,
+    ):
+        self.config = config if config is not None else HCCConfig()
+        self.dataset = dataset
+        self.ratings = ratings
+        # Strategy 3 stops the server CPU from time-sharing as a worker
+        # (paper 3.4): drop time-shared workers when streams are active.
+        self.platform = (
+            _without_time_shared(platform) if self.config.comm.uses_async else platform
+        )
+        if self.platform.n_workers == 0:
+            raise ValueError("platform has no workers after stream filtering")
+        self.cost_model = TimeCostModel(
+            self.platform,
+            dataset,
+            k=self.config.k,
+            comm=self.config.comm,
+            lambda_threshold=self.config.lambda_threshold,
+        )
+        self.lr = (
+            self.config.learning_rate
+            if self.config.learning_rate is not None
+            else dataset.learning_rate
+        )
+        self.reg = self.config.reg if self.config.reg is not None else dataset.reg
+        self.plan: PartitionPlan | None = None
+        self._grid_kind: GridKind | None = None
+
+    # ------------------------------------------------------------------
+    # preprocessing (steps 1-3)
+    # ------------------------------------------------------------------
+    def prepare(self) -> PartitionPlan:
+        """Shuffle, choose grid, derive the data partition."""
+        self.plan = self.cost_model.derive_partition(self.config.partition)
+        self._grid_kind = choose_grid(self.dataset.m, self.dataset.n)
+        if self.ratings is not None:
+            data = self.ratings
+            if choose_grid(data.m, data.n) is GridKind.COLUMN:
+                # column-grid problems are handled by transposition:
+                # "the strategy can also be switched to transmitting P
+                # only" — transposing makes Q the recurring matrix again.
+                data = data.transpose()
+            self._numeric_data = data.shuffle(self.config.seed)
+            self._assignments = partition_rows(
+                self._numeric_data, self.plan.fractions, GridKind.ROW
+            )
+        return self.plan
+
+    # ------------------------------------------------------------------
+    # training (steps 4-7)
+    # ------------------------------------------------------------------
+    def train(self, epochs: int | None = None, eval_data: RatingMatrix | None = None) -> TrainResult:
+        if self.plan is None:
+            self.prepare()
+        epochs = epochs if epochs is not None else self.config.epochs
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+
+        epoch_cost = self.cost_model.epoch_cost(self.plan.fractions)
+        timeline = self._build_timeline(epoch_cost, shown_epochs=min(epochs, 3))
+
+        # final P push under "transmit Q only": each worker pushes its
+        # exclusive P rows over its own channel, in parallel
+        final_extra = self._final_push_time()
+        total_time = epochs * epoch_cost.total + final_extra
+
+        workers = self.platform.workers
+        pull_total = epochs * sum(w.pull for w in epoch_cost.workers)
+        push_total = epochs * sum(w.push for w in epoch_cost.workers) + final_extra
+        sync_total = epochs * epoch_cost.sync_time_each * len(workers)
+
+        phase_totals: dict[str, dict[str, float]] = {}
+        for wc in epoch_cost.workers:
+            phase_totals[wc.name] = {
+                "pull": epochs * wc.pull,
+                "computing": epochs * wc.compute,
+                # Figure 8 lumps push and sync into one "push" bar
+                "push": epochs * (wc.push + epoch_cost.sync_time_each),
+                "total": epochs * epoch_cost.total,
+            }
+
+        nnz = self.dataset.nnz
+        power = computing_power(nnz, epochs, total_time)
+        ideal = ideal_computing_power(self.platform, self.dataset, self.config.k)
+        worker_powers = {
+            wc.name: wc.fraction * nnz * epochs / total_time for wc in epoch_cost.workers
+        }
+
+        rmse_history: list[float] = []
+        model: MFModel | None = None
+        if self.ratings is not None:
+            model, rmse_history = self._train_numeric(epochs, eval_data)
+
+        return TrainResult(
+            dataset=self.dataset,
+            epochs=epochs,
+            plan=self.plan,
+            regime=epoch_cost.regime,
+            epoch_cost=epoch_cost,
+            total_time=total_time,
+            comm_time=pull_total + push_total,
+            pull_time=pull_total,
+            push_time=push_total,
+            sync_time_total=sync_total,
+            phase_totals=phase_totals,
+            power=power,
+            ideal_power=ideal,
+            utilization=utilization(power, ideal),
+            worker_powers=worker_powers,
+            timeline=timeline,
+            rmse_history=rmse_history,
+            model=model,
+        )
+
+    # ------------------------------------------------------------------
+    def _train_numeric(
+        self, epochs: int, eval_data: RatingMatrix | None
+    ) -> tuple[MFModel, list[float]]:
+        data = self._numeric_data
+        eval_set = eval_data if eval_data is not None else data
+        model = MFModel.init_for(data, self.config.k, seed=self.config.seed)
+        runtimes = [
+            WorkerRuntime(
+                i,
+                proc,
+                assignment,
+                data,
+                batch_size=self.config.batch_size,
+                seed=self.config.seed,
+            )
+            for i, (proc, assignment) in enumerate(
+                zip(self.platform.workers, self._assignments)
+            )
+        ]
+        mode = self.config.comm.resolve_transmit(self.dataset.m, self.dataset.n)
+        if mode is TransmitMode.Q_ROTATE:
+            return self._train_numeric_rotate(epochs, eval_set, model, runtimes)
+
+        server = ParameterServer(
+            model, self.platform.n_workers, fp16_wire=self.config.comm.fp16
+        )
+        history: list[float] = []
+        for _ in range(epochs):
+            server.begin_epoch()
+            for rt in runtimes:
+                q_local = server.pull()
+                q_new, _ = rt.run_epoch(model.P, q_local, self.lr, self.reg)
+                # row-grid workers train on disjoint samples, so their Q
+                # deltas represent distinct SGD steps and merge additively
+                # (weight 1.0); averaging would under-apply the epoch's
+                # updates and slow convergence
+                server.push_and_sync(rt.worker_id, q_new, 1.0)
+            history.append(model.rmse(eval_set))
+        return model, history
+
+    def _train_numeric_rotate(
+        self,
+        epochs: int,
+        eval_set: RatingMatrix,
+        model: MFModel,
+        runtimes: list[WorkerRuntime],
+    ) -> tuple[MFModel, list[float]]:
+        """Ring-rotation training (Q_ROTATE, the future-work mode).
+
+        Q's columns are split into one block per worker; in rotation
+        step s, worker i owns block (i + s) mod p.  Ownership is
+        disjoint within a step, so every worker updates the global P
+        (its exclusive rows) and Q (its owned columns) in place: no
+        pull/push copies, no server merge.
+        """
+        p = len(runtimes)
+        data = self._numeric_data
+        edges = np.linspace(0, data.n, p + 1).astype(np.int64)
+        for rt in runtimes:
+            rt.prepare_column_blocks(edges)
+        history: list[float] = []
+        for _ in range(epochs):
+            for step in range(p):
+                for i, rt in enumerate(runtimes):
+                    rt.run_rotation_step(model, (i + step) % p, self.lr, self.reg)
+            history.append(model.rmse(eval_set))
+        return model, history
+
+    def _final_push_time(self) -> float:
+        """Time for the once-at-the-end P push (Strategy 1's epilogue)."""
+        plan: CommPlan = self.cost_model.plan
+        if plan.final_push_extra == 0:
+            return 0.0
+        times = []
+        for proc, x in zip(self.platform.workers, self.plan.fractions):
+            nbytes = plan.final_push_extra * x
+            times.append(
+                self.cost_model.comm_model.transfer_time(self.platform.bus(proc), nbytes)
+            )
+        return max(times) if times else 0.0
+
+    def _build_timeline(self, epoch_cost: EpochCost, shown_epochs: int) -> Timeline:
+        timeline = Timeline()
+        for e in range(shown_epochs):
+            offset = e * epoch_cost.total
+            finishes = []
+            for wc in epoch_cost.workers:
+                finishes.append((offset + wc.finish, wc.name))
+                for s in wc.spans:
+                    timeline.add(s.worker, s.phase, offset + s.start, offset + s.end, epoch=e)
+            # server sync lane: serial merges in arrival order
+            server_free = 0.0
+            for finish, _name in sorted(finishes):
+                start = max(finish, server_free)
+                end = start + epoch_cost.sync_time_each
+                timeline.add("server", Phase.SYNC, start, end, epoch=e)
+                server_free = end
+        return timeline
+
+
+def _without_time_shared(platform: Platform) -> Platform:
+    """A copy of the platform with time-shared (special) workers removed."""
+    filtered = Platform(server=platform.server)
+    for w in platform.workers:
+        if w.time_share < 1.0:
+            continue
+        filtered.add_worker(w, platform.bus(w), channel=platform.channel_of(w))
+    return filtered

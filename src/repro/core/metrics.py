@@ -1,0 +1,58 @@
+"""Performance metrics: "computing power" and its utilization (paper 4.2).
+
+The paper argues peak FLOPS and raw speedup are poor measures for this
+memory-bound workload and instead defines, for SGD-based MF,
+
+    computing_power = nnz * epochs / cost_time          (Eq. 8)
+
+(parameter updates per second), with the *ideal* power of a platform
+being the sum of its processors' independently measured powers, and
+
+    utilization = actual_power / ideal_power
+
+the headline metric of Table 4 and Figure 9.
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import DatasetSpec
+from repro.hardware.topology import Platform
+
+
+def computing_power(nnz: int, epochs: int, cost_time: float) -> float:
+    """Eq. 8: rating-matrix elements updated per second."""
+    if nnz <= 0 or epochs <= 0:
+        raise ValueError("nnz and epochs must be positive")
+    if cost_time <= 0:
+        raise ValueError("cost_time must be positive")
+    return nnz * epochs / cost_time
+
+
+def ideal_computing_power(platform: Platform, dataset: DatasetSpec, k: int = 128) -> float:
+    """Sum of the workers' independent computing powers (Table 4 "Ideal").
+
+    Each worker's contribution is its update rate training the dataset
+    alone at full duty — time-shared workers count at full share, since
+    the ideal assumes the whole physical processor is available.
+    """
+    total = 0.0
+    for w in platform.workers:
+        full = w.with_time_share(1.0) if w.time_share < 1.0 else w
+        total += full.update_rate(k, dataset, partition_frac=1.0, corun=False)
+    return total
+
+
+def utilization(actual_power: float, ideal_power: float) -> float:
+    """Fraction of the platform's ideal computing power actually used."""
+    if ideal_power <= 0:
+        raise ValueError("ideal_power must be positive")
+    if actual_power < 0:
+        raise ValueError("actual_power must be non-negative")
+    return actual_power / ideal_power
+
+
+def speedup(baseline_time: float, new_time: float) -> float:
+    """How many times faster ``new_time`` is than ``baseline_time``."""
+    if baseline_time <= 0 or new_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / new_time

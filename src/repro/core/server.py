@@ -1,0 +1,94 @@
+"""The parameter server: global feature matrices and sync (paper 3.1/3.5).
+
+The server owns the global P and Q.  Each epoch it deposits the
+pull-side feature matrix into the shared pull buffer (one copy), and
+after every worker push it merges the worker's local result into the
+global matrix — the "Sync" thread of Figure 4.
+
+Merging uses a weighted delta update:
+
+    Q_global += w_i * (Q_i_local - Q_epoch_base)
+
+where ``Q_epoch_base`` is the global Q snapshot the workers pulled.
+This is the multiply-add merge the cost model charges three memory
+operations for (Eq. 3) and it resolves the write-after-write races
+row-grid partitioning cannot avoid on Q.  HCC-MF uses ``w_i = 1``:
+row-grid workers train on *disjoint* samples, so their deltas are
+distinct SGD steps that all apply (summing, not averaging — averaging
+would under-apply the epoch's updates); fractional weights remain
+available for entry-level partitions whose shards overlap.
+
+With a row grid the P rows are worker-exclusive, so workers write them
+in place ("transmit Q only", Strategy 1): the server never merges P.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.comm import PullBuffer, PushBuffer
+from repro.mf.model import MFModel
+
+
+class ParameterServer:
+    """Numeric server for the in-process executor."""
+
+    def __init__(self, model: MFModel, n_workers: int, fp16_wire: bool = False):
+        if n_workers <= 0:
+            raise ValueError("need at least one worker")
+        self.model = model
+        self.n_workers = n_workers
+        self.fp16_wire = fp16_wire
+        self.pull_buffer = PullBuffer(model.Q.shape, fp16=fp16_wire)
+        self.push_buffers = [
+            PushBuffer(model.Q.shape, fp16=fp16_wire) for _ in range(n_workers)
+        ]
+        self._q_base: np.ndarray | None = None
+        self.sync_count = 0
+        self.epochs_started = 0
+
+    # ------------------------------------------------------------------
+    def begin_epoch(self) -> None:
+        """Snapshot Q and publish it to the pull buffer (one copy)."""
+        self._q_base = self.model.Q.copy()
+        self.pull_buffer.deposit(self.model.Q)
+        self.epochs_started += 1
+
+    def pull(self) -> np.ndarray:
+        """A worker's pull: the epoch-base global Q (FP32).
+
+        When the wire is FP16 the returned matrix has gone through the
+        compress/decompress round-trip, exactly what a worker would see.
+        """
+        if self._q_base is None:
+            raise RuntimeError("pull before begin_epoch")
+        return self.pull_buffer.read()
+
+    def push_and_sync(self, worker_id: int, q_local: np.ndarray, weight: float) -> None:
+        """A worker's push followed by the server's merge.
+
+        The worker deposits into its own push buffer (its single copy);
+        the server consumes the buffer in place and applies the weighted
+        delta merge.
+        """
+        if self._q_base is None:
+            raise RuntimeError("push before begin_epoch")
+        if not (0.0 <= weight <= 1.0):
+            raise ValueError("weight must be in [0, 1]")
+        if not (0 <= worker_id < self.n_workers):
+            raise IndexError(f"worker_id {worker_id} out of range")
+        buf = self.push_buffers[worker_id]
+        buf.deposit(q_local)
+        received = buf.consume()
+        # three memory ops + multiply-add per value, as Eq. 3 charges:
+        # read global, read delta, write global
+        delta = received.astype(np.float32) - self._q_base
+        self.model.Q += np.float32(weight) * delta
+        self.sync_count += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def q_base(self) -> np.ndarray:
+        if self._q_base is None:
+            raise RuntimeError("no epoch in progress")
+        return self._q_base

@@ -1,0 +1,89 @@
+"""Dataset substrate for HCC-MF.
+
+This subpackage provides the rating-matrix data structures, synthetic
+dataset generators that mirror the shape statistics of the paper's
+evaluation datasets (Table 3), and the row/column grid partitioning
+machinery used by the server's ``DataManager`` (paper section 3.3).
+"""
+
+from repro.data.ratings import RatingMatrix
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_low_rank,
+    sample_sparsity_pattern,
+)
+from repro.data.datasets import (
+    DatasetSpec,
+    NETFLIX,
+    YAHOO_R1,
+    R1_STAR,
+    YAHOO_R2,
+    MOVIELENS_20M,
+    DATASETS,
+    get_dataset,
+)
+from repro.data.io import (
+    load_text,
+    save_text,
+    load_movielens_csv,
+    load_npz,
+    save_npz,
+)
+from repro.data.analysis import (
+    DatasetProfile,
+    profile,
+    profile_spec,
+    render_profile,
+    gini,
+    conflict_probability,
+)
+from repro.data.streaming import (
+    stream_text_batches,
+    count_statistics,
+    external_shuffle,
+    StreamStats,
+)
+from repro.data.grid import (
+    GridKind,
+    GridAssignment,
+    choose_grid,
+    partition_rows,
+    partition_entries,
+    block_sort,
+)
+
+__all__ = [
+    "RatingMatrix",
+    "SyntheticConfig",
+    "generate_low_rank",
+    "sample_sparsity_pattern",
+    "DatasetSpec",
+    "NETFLIX",
+    "YAHOO_R1",
+    "R1_STAR",
+    "YAHOO_R2",
+    "MOVIELENS_20M",
+    "DATASETS",
+    "get_dataset",
+    "load_text",
+    "save_text",
+    "load_movielens_csv",
+    "load_npz",
+    "save_npz",
+    "DatasetProfile",
+    "profile",
+    "profile_spec",
+    "render_profile",
+    "gini",
+    "conflict_probability",
+    "stream_text_batches",
+    "count_statistics",
+    "external_shuffle",
+    "StreamStats",
+    "GridKind",
+    "GridAssignment",
+    "choose_grid",
+    "partition_rows",
+    "partition_entries",
+    "block_sort",
+]

@@ -1,0 +1,157 @@
+"""Registry of the paper's evaluation datasets (Table 3).
+
+Each :class:`DatasetSpec` records the *full-scale* shape statistics and
+training hyper-parameters from Table 3 of the paper.  The analytical
+time-cost model always runs at full scale (it only needs m, n, nnz);
+numeric SGD training uses :meth:`DatasetSpec.scaled` instances that
+preserve density and rating scale at laptop-size nnz.
+
+Table 3 of the paper:
+
+====================  ========  ========  ===========  ==========
+Data set              m         n         nnz          lambda1,2
+====================  ========  ========  ===========  ==========
+Netflix               480190    17771     99072112     0.01
+Yahoo! Music R1       1948883   1101750   115579437    1
+R1*                   1948883   1101750   199999997    1
+Yahoo! Music R2       1000000   136736    383838609    0.01
+Movielens-20m         138494    131263    20000260     0.01
+====================  ========  ========  ===========  ==========
+
+learning rate gamma = 0.005 throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.data.ratings import RatingMatrix
+from repro.data.synthetic import SyntheticConfig, generate_low_rank
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape statistics and MF hyper-parameters for one dataset."""
+
+    name: str
+    m: int
+    n: int
+    nnz: int
+    reg: float = 0.01          # lambda1 = lambda2 in the paper's loss
+    learning_rate: float = 0.005
+    rating_min: float = 1.0
+    rating_max: float = 5.0
+    rating_step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.nnz) <= 0:
+            raise ValueError("m, n, nnz must be positive")
+        if self.nnz > self.m * self.n:
+            raise ValueError("nnz exceeds matrix capacity")
+
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        """m + n, the communication-cost driver."""
+        return self.m + self.n
+
+    @property
+    def density(self) -> float:
+        return self.nnz / float(self.m * self.n)
+
+    @property
+    def reuse_ratio(self) -> float:
+        """nnz/(m+n); below ~1e3 communication rivals computation (3.4)."""
+        return self.nnz / float(self.dims)
+
+    @property
+    def q_only_reuse(self) -> float:
+        """nnz/min(m,n): the comm/compute driver *after* Strategy 1.
+
+        "Transmit Q only" shrinks the recurring traffic to the smaller
+        dimension, so this is the ratio that decides whether a dataset
+        stays communication-bound once optimized (Netflix ~5.6e3 and R2
+        ~2.8e3 escape; R1 ~105 and MovieLens ~152 do not — exactly the
+        paper's Table 4 utilization split).
+        """
+        return self.nnz / float(min(self.m, self.n))
+
+    @property
+    def rows_dominate(self) -> bool:
+        """True when m > n, i.e. row grid + "transmit Q only" apply."""
+        return self.m > self.n
+
+    # ------------------------------------------------------------------
+    def scaled(self, max_nnz: int) -> "DatasetSpec":
+        """Shrink to at most ``max_nnz`` entries, preserving density.
+
+        m and n shrink by sqrt(f) so that nnz/(m*n) is invariant; the
+        rating scale and hyper-parameters are kept.  Used for numeric
+        (convergence) experiments — the analytic timing model keeps the
+        full-scale spec.
+        """
+        if max_nnz <= 0:
+            raise ValueError("max_nnz must be positive")
+        if max_nnz >= self.nnz:
+            return self
+        f = max_nnz / self.nnz
+        s = math.sqrt(f)
+        m = max(4, int(round(self.m * s)))
+        n = max(4, int(round(self.n * s)))
+        nnz = min(max_nnz, m * n)
+        return replace(self, name=f"{self.name}@{max_nnz}", m=m, n=n, nnz=nnz)
+
+    def synthetic_config(self, rank: int = 8, noise: float = 0.08) -> SyntheticConfig:
+        return SyntheticConfig(
+            m=self.m,
+            n=self.n,
+            nnz=self.nnz,
+            rank=rank,
+            rating_min=self.rating_min,
+            rating_max=self.rating_max,
+            rating_step=self.rating_step,
+            noise=noise,
+        )
+
+    def generate(self, seed: int = 0, rank: int = 8, noise: float = 0.08) -> RatingMatrix:
+        """Materialize a synthetic rating matrix with this spec's shape."""
+        return generate_low_rank(self.synthetic_config(rank=rank, noise=noise), seed=seed)
+
+
+NETFLIX = DatasetSpec(
+    name="Netflix", m=480_190, n=17_771, nnz=99_072_112,
+    reg=0.01, rating_min=1.0, rating_max=5.0, rating_step=1.0,
+)
+
+YAHOO_R1 = DatasetSpec(
+    name="R1", m=1_948_883, n=1_101_750, nnz=115_579_437,
+    reg=1.0, rating_min=0.0, rating_max=100.0, rating_step=1.0,
+)
+
+R1_STAR = DatasetSpec(
+    name="R1*", m=1_948_883, n=1_101_750, nnz=199_999_997,
+    reg=1.0, rating_min=0.0, rating_max=100.0, rating_step=1.0,
+)
+
+YAHOO_R2 = DatasetSpec(
+    name="R2", m=1_000_000, n=136_736, nnz=383_838_609,
+    reg=0.01, rating_min=1.0, rating_max=5.0, rating_step=1.0,
+)
+
+MOVIELENS_20M = DatasetSpec(
+    name="MovieLens-20m", m=138_494, n=131_263, nnz=20_000_260,
+    reg=0.01, rating_min=0.5, rating_max=5.0, rating_step=0.5,
+)
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec for spec in (NETFLIX, YAHOO_R1, R1_STAR, YAHOO_R2, MOVIELENS_20M)
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by its Table 3 name (case-insensitive)."""
+    for key, spec in DATASETS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")

@@ -1,0 +1,134 @@
+"""Rating-matrix file IO.
+
+Real deployments feed HCC-MF from rating files; this module reads and
+writes the three formats the MF ecosystem actually uses:
+
+* **LIBMF/text** — one ``row col value`` triple per line (the format
+  FPSGD's reference implementation consumes);
+* **MovieLens CSV** — ``userId,itemId,rating[,timestamp]`` with an
+  optional header, ids re-indexed densely;
+* **NPZ** — NumPy's compressed binary, exact round-trip of the COO
+  arrays (the fast path for checkpointing synthetic data).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.ratings import RatingMatrix
+
+
+# ---------------------------------------------------------------------------
+# LIBMF-style text triples
+# ---------------------------------------------------------------------------
+def save_text(ratings: RatingMatrix, path: str | os.PathLike) -> None:
+    """Write ``row col value`` lines (LIBMF's training-file format)."""
+    with open(path, "w") as fh:
+        fh.write(f"# {ratings.m} {ratings.n}\n")
+        for r, c, v in zip(ratings.rows, ratings.cols, ratings.vals):
+            fh.write(f"{int(r)} {int(c)} {float(v):g}\n")
+
+
+def load_text(path: str | os.PathLike) -> RatingMatrix:
+    """Read ``row col value`` triples.
+
+    An optional leading ``# m n`` comment pins the matrix shape;
+    otherwise the shape is inferred as (max row + 1, max col + 1).
+    """
+    m = n = None
+    rows, cols, vals = [], [], []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2:
+                    m, n = int(parts[0]), int(parts[1])
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{lineno}: expected 'row col value', got {line!r}")
+            rows.append(int(parts[0]))
+            cols.append(int(parts[1]))
+            vals.append(float(parts[2]))
+    if not rows:
+        raise ValueError(f"{path}: no rating triples found")
+    if m is None:
+        m = max(rows) + 1
+        n = max(cols) + 1
+    return RatingMatrix(m, n, rows, cols, vals)
+
+
+# ---------------------------------------------------------------------------
+# MovieLens-style CSV
+# ---------------------------------------------------------------------------
+def load_movielens_csv(
+    path: str | os.PathLike,
+    delimiter: str = ",",
+) -> tuple[RatingMatrix, dict[int, int], dict[int, int]]:
+    """Read ``userId,itemId,rating[,...]`` and densify the id spaces.
+
+    Returns ``(ratings, user_id_map, item_id_map)`` where the maps take
+    original ids to dense indices (MovieLens ids are sparse).
+    A header line (non-numeric first field) is skipped automatically.
+    """
+    users_raw, items_raw, vals = [], [], []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(delimiter)
+            if len(parts) < 3:
+                raise ValueError(f"{path}:{lineno}: expected >= 3 fields")
+            try:
+                u = int(parts[0])
+            except ValueError:
+                if lineno == 1:
+                    continue  # header
+                raise
+            users_raw.append(u)
+            items_raw.append(int(parts[1]))
+            vals.append(float(parts[2]))
+    if not vals:
+        raise ValueError(f"{path}: no ratings found")
+
+    user_ids = sorted(set(users_raw))
+    item_ids = sorted(set(items_raw))
+    user_map = {uid: i for i, uid in enumerate(user_ids)}
+    item_map = {iid: i for i, iid in enumerate(item_ids)}
+    rows = [user_map[u] for u in users_raw]
+    cols = [item_map[i] for i in items_raw]
+    ratings = RatingMatrix(len(user_ids), len(item_ids), rows, cols, vals)
+    return ratings, user_map, item_map
+
+
+# ---------------------------------------------------------------------------
+# NPZ binary
+# ---------------------------------------------------------------------------
+def save_npz(ratings: RatingMatrix, path: str | os.PathLike) -> None:
+    """Exact binary checkpoint of the COO arrays."""
+    np.savez_compressed(
+        path,
+        m=np.int64(ratings.m),
+        n=np.int64(ratings.n),
+        rows=ratings.rows,
+        cols=ratings.cols,
+        vals=ratings.vals,
+    )
+
+
+def load_npz(path: str | os.PathLike) -> RatingMatrix:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        return RatingMatrix(
+            int(data["m"]), int(data["n"]),
+            data["rows"], data["cols"], data["vals"],
+        )

@@ -1,0 +1,175 @@
+"""Out-of-core rating-file processing.
+
+Full-scale datasets (R2's 384M ratings are ~9 GB as text) do not fit
+comfortably in memory on a workstation, so the preprocessing pipeline
+needs streaming equivalents of the in-memory operations:
+
+* :func:`stream_text_batches` — iterate a LIBMF-style triple file in
+  bounded-memory chunks;
+* :func:`external_shuffle` — the paper's preprocessing step 1 at scale:
+  a two-pass disk shuffle (scatter to random buckets, permute each
+  bucket in memory) whose peak memory is one bucket;
+* :func:`count_statistics` — single-pass shape/marginal statistics for
+  a file too big to load (feeds the DataManager's grid decisions).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.ratings import RatingMatrix
+
+
+def _parse_line(line: str, path, lineno: int) -> tuple[int, int, float] | None:
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split()
+    if len(parts) != 3:
+        raise ValueError(f"{path}:{lineno}: expected 'row col value', got {line!r}")
+    return int(parts[0]), int(parts[1]), float(parts[2])
+
+
+def stream_text_batches(
+    path: str | os.PathLike,
+    batch_size: int = 65_536,
+    m: int | None = None,
+    n: int | None = None,
+) -> Iterator[RatingMatrix]:
+    """Yield bounded-size RatingMatrix chunks from a triple file.
+
+    When ``m``/``n`` are omitted they are taken from the file's ``# m n``
+    header; a file with neither raises (chunk shapes must be consistent).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            stripped = line.strip()
+            if stripped.startswith("#") and m is None:
+                parts = stripped[1:].split()
+                if len(parts) == 2:
+                    m, n = int(parts[0]), int(parts[1])
+                continue
+            parsed = _parse_line(line, path, lineno)
+            if parsed is None:
+                continue
+            r, c, v = parsed
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+            if len(rows) >= batch_size:
+                if m is None:
+                    raise ValueError(
+                        f"{path}: no '# m n' header and no explicit shape"
+                    )
+                yield RatingMatrix(m, n, rows, cols, vals)
+                rows, cols, vals = [], [], []
+    if rows:
+        if m is None:
+            raise ValueError(f"{path}: no '# m n' header and no explicit shape")
+        yield RatingMatrix(m, n, rows, cols, vals)
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Single-pass statistics of a rating file."""
+
+    m: int
+    n: int
+    nnz: int
+    value_min: float
+    value_max: float
+    value_sum: float
+
+    @property
+    def mean(self) -> float:
+        return self.value_sum / self.nnz if self.nnz else 0.0
+
+    @property
+    def reuse_ratio(self) -> float:
+        return self.nnz / float(self.m + self.n) if (self.m + self.n) else 0.0
+
+
+def count_statistics(path: str | os.PathLike) -> StreamStats:
+    """Shape and value statistics without materializing the file."""
+    m = n = nnz = 0
+    vmin, vmax, vsum = float("inf"), float("-inf"), 0.0
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            parsed = _parse_line(line, path, lineno)
+            if parsed is None:
+                continue
+            r, c, v = parsed
+            m = max(m, r + 1)
+            n = max(n, c + 1)
+            nnz += 1
+            vmin = min(vmin, v)
+            vmax = max(vmax, v)
+            vsum += v
+    if nnz == 0:
+        raise ValueError(f"{path}: no rating triples found")
+    return StreamStats(m=m, n=n, nnz=nnz, value_min=vmin, value_max=vmax, value_sum=vsum)
+
+
+def external_shuffle(
+    src: str | os.PathLike,
+    dst: str | os.PathLike,
+    buckets: int = 16,
+    seed: int = 0,
+    tmp_dir: str | os.PathLike | None = None,
+) -> int:
+    """Disk-based shuffle of a triple file (preprocessing step 1 at scale).
+
+    Pass 1 scatters lines to ``buckets`` temporary files by a random
+    draw; pass 2 loads one bucket at a time, permutes it in memory, and
+    appends to ``dst``.  Peak memory is one bucket (~nnz/buckets lines).
+    This is the standard external shuffle: any fixed pair of lines is
+    equally likely in either order, which is all SGD's iid-sampling
+    argument needs.  Returns the line count moved.
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    src, dst = Path(src), Path(dst)
+    base = Path(tmp_dir) if tmp_dir is not None else dst.parent
+    rng = np.random.default_rng(seed)
+    bucket_paths = [base / f".shuffle-{dst.name}-{i}.tmp" for i in range(buckets)]
+
+    header: str | None = None
+    total = 0
+    handles = [open(p, "w") for p in bucket_paths]
+    try:
+        with open(src) as fh:
+            for line in fh:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if stripped.startswith("#"):
+                    header = stripped
+                    continue
+                handles[int(rng.integers(0, buckets))].write(stripped + "\n")
+                total += 1
+    finally:
+        for h in handles:
+            h.close()
+
+    try:
+        with open(dst, "w") as out:
+            if header is not None:
+                out.write(header + "\n")
+            for p in bucket_paths:
+                lines = p.read_text().splitlines()
+                for idx in rng.permutation(len(lines)):
+                    out.write(lines[idx] + "\n")
+    finally:
+        for p in bucket_paths:
+            p.unlink(missing_ok=True)
+    return total

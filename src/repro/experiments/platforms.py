@@ -1,0 +1,149 @@
+"""Canonical platform configurations used across the experiments.
+
+The paper uses three families of configurations (section 4.1):
+
+* the **overall-performance** testbed — CPU_0 at 16 threads plus the
+  special worker, CPU_1 at 24 threads, both GPUs;
+* the **heterogeneity** testbed — same but CPU_0 throttled to 10
+  threads ("to increase the heterogeneity between CPU_0 and CPU_1");
+* **single processors and ad-hoc combos** for Figure 3's motivation
+  experiments, including the deliberately misconfigured variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import CommBackendKind, CommConfig, HCCConfig, PartitionStrategy, TransmitMode
+from repro.hardware.processor import Processor
+from repro.hardware.specs import (
+    PCIE3_X16,
+    PROCESSOR_CATALOG,
+    SHARED_MEMORY,
+    UPI,
+)
+from repro.hardware.topology import Platform, paper_workstation, single_processor
+
+
+def overall_platform() -> Platform:
+    """Section 4.1's peak configuration (CPU_0 at 16 threads)."""
+    return paper_workstation(cpu0_threads=16)
+
+
+def hetero_platform(include_special_worker: bool = True) -> Platform:
+    """Section 4.1's heterogeneity configuration (CPU_0 at 10 threads)."""
+    return paper_workstation(
+        cpu0_threads=10, include_special_worker=include_special_worker
+    )
+
+
+def workers_platform(n_workers: int) -> Platform:
+    """The paper's 3-worker / 4-worker configurations (Figures 8, 9).
+
+    Workers join in Figure 9's stacking order: 2080S, 6242 (CPU_1, 24T),
+    2080, and finally the time-shared 10-thread special worker "6242L".
+    """
+    if not (1 <= n_workers <= 4):
+        raise ValueError("the paper's testbed supports 1..4 workers")
+    include_special = n_workers >= 4
+    server = Processor(PROCESSOR_CATALOG["6242"], threads=10, instance="cpu0")
+    platform = Platform(server=server)
+    order = [
+        (PROCESSOR_CATALOG["2080S"], None, PCIE3_X16, "gpu0", 1.0),
+        (PROCESSOR_CATALOG["6242"], 24, UPI, "cpu1", 1.0),
+        (PROCESSOR_CATALOG["2080"], None, PCIE3_X16, "gpu1", 1.0),
+        (PROCESSOR_CATALOG["6242L"], 10, SHARED_MEMORY, "cpu0w", 0.85),
+    ]
+    for spec, threads, bus, inst, share in order[:n_workers]:
+        platform.add_worker(
+            Processor(spec, threads=threads, instance=inst, time_share=share), bus
+        )
+    if not include_special:
+        pass
+    return platform
+
+
+def single(name: str, threads: int | None = None) -> Platform:
+    """A lone processor running the whole workload (Figure 3a bars 1-4)."""
+    try:
+        spec = PROCESSOR_CATALOG[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown processor {name!r}; known: {sorted(PROCESSOR_CATALOG)}") from exc
+    return single_processor(spec, threads=threads)
+
+
+def build_combo(
+    names: list[str],
+    bad_comm: bool = False,
+    unbalanced: bool = False,
+    bad_threads: bool = False,
+) -> tuple[Platform, HCCConfig]:
+    """A Figure 3 collaboration: processors named like '6242', '2080S'.
+
+    A named CPU becomes the time-shared server CPU (it must host the
+    parameter server anyway); GPUs attach over PCI-E.  When no CPU is
+    named (e.g. the 2080-2080S combo), a host 6242 manages but does not
+    compute.  The ``bad_*`` flags produce the paper's "Bad
+    collaboration" bars: ps-lite messaging with full P&Q traffic, an
+    even (heterogeneity-blind) partition, or an oversubscribed CPU.
+    """
+    if not names:
+        raise ValueError("need at least one processor name")
+    cpus = [n for n in names if PROCESSOR_CATALOG[n].is_cpu]
+    gpus = [n for n in names if PROCESSOR_CATALOG[n].is_gpu]
+
+    # Figure 3a "Bad threads conf": the thread configuration thrashes at
+    # runtime (oversubscription with the server/OS threads), while the
+    # partition was derived from clean independent measurements — the
+    # mismatch is what makes the collaboration bad.
+    cpu_runtime_penalty = 0.45 if bad_threads else 1.0
+
+    server_spec = PROCESSOR_CATALOG[cpus[0]] if cpus else PROCESSOR_CATALOG["6242"]
+    server = Processor(server_spec, threads=16, instance="cpu0")
+    platform = Platform(server=server)
+
+    for i, name in enumerate(cpus):
+        if i == 0:
+            platform.add_worker(
+                Processor(
+                    PROCESSOR_CATALOG[name],
+                    threads=16,
+                    instance="cpu0w",
+                    time_share=0.85,
+                    runtime_penalty=cpu_runtime_penalty,
+                ),
+                SHARED_MEMORY,
+            )
+        else:
+            platform.add_worker(
+                Processor(
+                    PROCESSOR_CATALOG[name],
+                    threads=24,
+                    instance=f"cpu{i}",
+                    runtime_penalty=cpu_runtime_penalty,
+                ),
+                UPI,
+            )
+    for i, name in enumerate(gpus):
+        platform.add_worker(
+            Processor(PROCESSOR_CATALOG[name], instance=f"gpu{i}"), PCIE3_X16
+        )
+
+    config = HCCConfig(k=128, epochs=20)
+    if bad_comm:
+        config = replace(
+            config,
+            comm=CommConfig(transmit=TransmitMode.P_AND_Q, backend=CommBackendKind.COMM_P),
+        )
+    if unbalanced:
+        config = replace(config, partition=PartitionStrategy.EVEN)
+    if bad_threads:
+        # a "random configuration" does not re-measure at runtime, so the
+        # compensation loop (DP1) never sees the thrashing — stay on DP0
+        config = replace(config, partition=PartitionStrategy.DP0)
+    return platform, config
+
+
+def combo_price(names: list[str]) -> float:
+    """Figure 3(b)'s price of a combo: sum of the named processors."""
+    return sum(PROCESSOR_CATALOG[n].price_usd for n in names)

@@ -1,0 +1,93 @@
+"""Result containers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6:
+            return f"{value:,.0f}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not headers:
+        raise ValueError("headers required")
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(sep))
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    ``rows`` hold the data series the paper plots/tabulates; ``notes``
+    carry per-experiment commentary (paper values, deviations);
+    ``extra`` stashes auxiliary artifacts (e.g. Gantt strings, raw
+    TrainResults) for examples and tests.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, header: str) -> list[Any]:
+        """One column of the result table, by header name."""
+        try:
+            idx = self.headers.index(header)
+        except ValueError as exc:
+            raise KeyError(f"no column {header!r}; have {self.headers}") from exc
+        return [row[idx] for row in self.rows]
+
+    def row_map(self, key_header: str | None = None) -> dict[Any, list[Any]]:
+        """Rows keyed by their first (or named) column."""
+        idx = 0 if key_header is None else self.headers.index(key_header)
+        return {row[idx]: row for row in self.rows}
+
+    def render(self) -> str:
+        text = render_table(
+            self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
+        )
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text

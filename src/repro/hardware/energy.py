@@ -1,0 +1,96 @@
+"""Energy model: joules from TDP and busy/idle times.
+
+Extends Figure 3(b)'s economics argument from purchase price to
+operating cost.  The model is the standard two-state approximation:
+a processor draws its full TDP while computing and an idle fraction of
+it otherwise; transfer engines' draw is folded into the busy state.
+
+All inputs come from the timing plane (per-worker busy seconds and the
+run's makespan), so energy composes with every platform/what-if sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.processor import Processor
+from repro.hardware.topology import Platform
+
+#: idle power as a fraction of TDP (typical for both Xeons and Turing GPUs)
+IDLE_POWER_FRACTION = 0.30
+
+
+def processor_energy(
+    processor: Processor,
+    busy_seconds: float,
+    total_seconds: float,
+    idle_fraction: float = IDLE_POWER_FRACTION,
+) -> float:
+    """Joules one processor draws over a run of ``total_seconds``."""
+    if busy_seconds < 0 or total_seconds < 0:
+        raise ValueError("times must be non-negative")
+    if busy_seconds > total_seconds * (1 + 1e-9):
+        raise ValueError("busy time exceeds the run's makespan")
+    if not (0.0 <= idle_fraction <= 1.0):
+        raise ValueError("idle_fraction must be in [0, 1]")
+    tdp = processor.spec.tdp_watts
+    idle_seconds = max(total_seconds - busy_seconds, 0.0)
+    return tdp * (busy_seconds + idle_fraction * idle_seconds)
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one training run."""
+
+    total_joules: float
+    per_worker_joules: dict[str, float]
+    server_joules: float
+    updates: float
+
+    @property
+    def watt_hours(self) -> float:
+        return self.total_joules / 3600.0
+
+    @property
+    def joules_per_mupdate(self) -> float:
+        """Joules per million parameter updates — the efficiency metric."""
+        if self.updates <= 0:
+            return float("inf")
+        return self.total_joules / (self.updates / 1e6)
+
+
+def run_energy(
+    platform: Platform,
+    busy_seconds_by_worker: dict[str, float],
+    total_seconds: float,
+    updates: float,
+    server_busy_seconds: float = 0.0,
+    idle_fraction: float = IDLE_POWER_FRACTION,
+) -> EnergyReport:
+    """Energy for a whole run: every worker plus the server CPU.
+
+    A time-shared special worker and the server occupy the same chip;
+    its energy is counted once, under the server, at the *maximum* of
+    the two busy times (the chip is busy when either role is).
+    """
+    per_worker: dict[str, float] = {}
+    shared_busy = server_busy_seconds
+    for worker in platform.workers:
+        busy = busy_seconds_by_worker.get(worker.name, 0.0)
+        if worker.time_share < 1.0:
+            # same physical chip as the server: fold into the server term
+            shared_busy = max(shared_busy, busy)
+            continue
+        per_worker[worker.name] = processor_energy(
+            worker, busy, total_seconds, idle_fraction
+        )
+    server_j = processor_energy(
+        platform.server, min(shared_busy, total_seconds), total_seconds, idle_fraction
+    )
+    total = sum(per_worker.values()) + server_j
+    return EnergyReport(
+        total_joules=total,
+        per_worker_joules=per_worker,
+        server_joules=server_j,
+        updates=updates,
+    )

@@ -1,0 +1,193 @@
+"""Runtime processor model: throughput as a function of configuration.
+
+Implements the compute side of the paper's cost model (Eq. 2): one SGD
+update touches ``16k + 4`` bytes, so a processor's update rate is its
+effective memory bandwidth divided by that — with three corrections the
+paper measures:
+
+* **thread scaling** (CPUs): bandwidth, hence rate, follows the active
+  thread count (Table 2's 6242 vs 6242l-10; section 4.1 deliberately
+  runs CPU_0 at 10 or 16 threads);
+* **partition boost**: a worker processing a DP0-sized slice of the data
+  enjoys slightly higher bandwidth than an independent worker (Table 2's
+  IW vs DP0 columns) because its working set is smaller;
+* **dataset locality**: per-dataset multipliers from Table 4 (or the
+  fallback heuristic) capture cache behaviour differences.
+
+A deliberately mis-sized thread count models Figure 3(a)'s "Bad threads
+conf": oversubscription past the physical core count thrashes and costs
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.datasets import DatasetSpec
+from repro.hardware.calibration import REFERENCE_K, bytes_per_update, dataset_rate, table4_rate
+from repro.hardware.specs import ProcessorKind, ProcessorSpec
+
+#: throughput multiplier when threads exceed the physical capacity
+OVERSUBSCRIPTION_PENALTY = 0.55
+
+#: CPU throughput multiplier when co-running with the server's sync and
+#: the other workers' host-side traffic.  This is the "non-critical
+#: factor neglected when modeling" that unbalances CPU vs GPU compute
+#: times after DP0 (paper 3.3: bandwidth at runtime differs from the
+#: independent measurement) and that DP1's compensation loop corrects.
+#: GPUs compute out of their own DRAM and are unaffected.
+CPU_CORUN_FACTOR = 0.82
+
+
+@dataclass
+class Processor:
+    """A processor instance with a concrete runtime configuration.
+
+    Parameters
+    ----------
+    spec:
+        Static hardware description.
+    threads:
+        Active compute threads.  Defaults to the spec's reference count
+        (16 for the 6242, the full thread grid for GPUs).
+    instance:
+        Disambiguates identical processors on one platform ("2080S#1").
+    time_share:
+        Fraction of time available for worker compute; the "special
+        worker" time-sharing the server's CPU runs below 1.0.
+    """
+
+    spec: ProcessorSpec
+    threads: int | None = None
+    instance: str = ""
+    time_share: float = 1.0
+    runtime_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.threads is None:
+            self.threads = self.spec.ref_threads
+        if self.threads <= 0:
+            raise ValueError("threads must be positive")
+        if not (0.0 < self.time_share <= 1.0):
+            raise ValueError("time_share must be in (0, 1]")
+        if not (0.0 < self.runtime_penalty <= 1.0):
+            raise ValueError("runtime_penalty must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        base = self.spec.name
+        if self.threads != self.spec.ref_threads:
+            base = f"{base}-{self.threads}T"
+        if self.instance:
+            base = f"{base}#{self.instance}"
+        return base
+
+    @property
+    def kind(self) -> ProcessorKind:
+        return self.spec.kind
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.spec.is_gpu
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.spec.is_cpu
+
+    @property
+    def oversubscribed(self) -> bool:
+        return self.threads > self.spec.max_threads
+
+    # ------------------------------------------------------------------
+    def effective_bandwidth(self, partition_frac: float = 1.0) -> float:
+        """Achieved DRAM bandwidth (GB/s) for a given partition size.
+
+        ``partition_frac`` is the share of the dataset this worker
+        processes; 1.0 is the independent-worker case (Table 2 "IW").
+        Smaller partitions get the spec's partition boost, linearly in
+        the shrink factor — which reproduces Table 2's DP0 column.
+        """
+        if not (0.0 < partition_frac <= 1.0):
+            raise ValueError("partition_frac must be in (0, 1]")
+        threads = min(self.threads, self.spec.max_threads)
+        base = self.spec.dram_bandwidth(threads)
+        boost = self.spec.partition_boost * (1.0 - partition_frac)
+        return base * (1.0 + boost)
+
+    def update_rate(
+        self,
+        k: int = REFERENCE_K,
+        dataset: DatasetSpec | None = None,
+        partition_frac: float = 1.0,
+        corun: bool = False,
+    ) -> float:
+        """SGD parameter updates per second in this configuration.
+
+        The Netflix-calibrated base rate is scaled by: latent-dimension
+        bytes ratio (Eq. 2's ``16k+4``), thread-dependent bandwidth,
+        dataset locality, partition boost, oversubscription penalty and
+        the time-share duty factor.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        # exact Table 4 cell for a thread-qualified configuration?
+        qualified = f"{self.spec.name}-{self.threads}T"
+        rate = None
+        if dataset is not None:
+            rate = table4_rate(qualified, dataset.name)
+        if rate is None:
+            if dataset is not None:
+                rate = dataset_rate(
+                    self.spec.name,
+                    self.is_gpu,
+                    self.spec.base_rate_k128,
+                    dataset,
+                    memory_gb=self.spec.memory_gb,
+                )
+            else:
+                rate = self.spec.base_rate_k128
+            # thread scaling relative to the reference configuration
+            if self.is_cpu and self.threads != self.spec.ref_threads:
+                eff_threads = min(self.threads, self.spec.max_threads)
+                ratio = self.spec.dram_bandwidth(eff_threads) / self.spec.dram_bandwidth(
+                    self.spec.ref_threads
+                )
+                rate *= ratio
+
+        rate *= bytes_per_update(REFERENCE_K) / bytes_per_update(k)
+        rate *= 1.0 + self.spec.partition_boost * (1.0 - partition_frac)
+        if corun and self.is_cpu:
+            rate *= CPU_CORUN_FACTOR
+        if corun:
+            # misconfiguration (e.g. thread oversubscription) that only
+            # bites when the collaborative run is live, not during the
+            # independent measurements the partition was derived from —
+            # Figure 3(a)'s "Bad threads conf"
+            rate *= self.runtime_penalty
+        if self.oversubscribed:
+            rate *= OVERSUBSCRIPTION_PENALTY
+        return rate * self.time_share
+
+    def compute_time(
+        self,
+        n_updates: float,
+        k: int = REFERENCE_K,
+        dataset: DatasetSpec | None = None,
+        partition_frac: float = 1.0,
+        corun: bool = False,
+    ) -> float:
+        """Seconds to perform ``n_updates`` SGD updates (Eq. 2's first term)."""
+        if n_updates < 0:
+            raise ValueError("n_updates must be non-negative")
+        return n_updates / self.update_rate(k, dataset, partition_frac, corun)
+
+    def with_time_share(self, share: float) -> "Processor":
+        """A copy of this processor running at a duty factor < 1."""
+        return Processor(
+            self.spec, self.threads, self.instance,
+            time_share=share, runtime_penalty=self.runtime_penalty,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Processor({self.name}, {self.kind.value}, threads={self.threads})"

@@ -1,0 +1,59 @@
+"""Runtime profiling probes (the Intel PCM / Nsight Systems stand-in).
+
+The paper uses Intel PCM and NVIDIA Nsight to measure each worker's
+*runtime* memory bandwidth, which feeds DP1's compensation loop
+(Algorithm 1 re-measures computing times after each re-partition).
+On this substrate the equivalents are wall-clock probes of the NumPy
+kernels: effective copy bandwidth and achieved SGD update rate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.ratings import RatingMatrix
+from repro.mf.kernels import ConflictPolicy, sgd_epoch
+from repro.mf.model import MFModel
+
+
+def measure_copy_bandwidth_gbs(nbytes: int = 64 * 1024 * 1024, repeats: int = 3) -> float:
+    """Measured host memory copy bandwidth in GB/s.
+
+    Copies a buffer of ``nbytes`` ``repeats`` times and reports the
+    best rate (read + write traffic counted once, matching how PCM's
+    numbers are usually quoted).
+    """
+    if nbytes <= 0 or repeats <= 0:
+        raise ValueError("nbytes and repeats must be positive")
+    src = np.ones(nbytes // 8, dtype=np.float64)
+    dst = np.empty_like(src)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.copyto(dst, src)
+        best = min(best, time.perf_counter() - t0)
+    return nbytes / best / 1e9
+
+
+def measure_update_rate(
+    ratings: RatingMatrix,
+    k: int = 32,
+    batch_size: int = 4096,
+    policy: ConflictPolicy = ConflictPolicy.ATOMIC,
+    seed: int = 0,
+) -> float:
+    """Achieved SGD updates/s of the local NumPy kernel on this host.
+
+    One timed epoch over ``ratings``; used by the wall-clock executor
+    path and by DP1 when running against real (not simulated) workers.
+    """
+    model = MFModel.init_for(ratings, k, seed=seed)
+    rng = np.random.default_rng(seed)
+    t0 = time.perf_counter()
+    sgd_epoch(model, ratings, lr=0.005, reg=0.01, batch_size=batch_size, policy=policy, rng=rng)
+    elapsed = time.perf_counter() - t0
+    if elapsed <= 0:  # pragma: no cover - clock resolution guard
+        return float("inf")
+    return ratings.nnz / elapsed

@@ -1,0 +1,234 @@
+"""Processor and bus specifications (the paper's hardware catalog).
+
+Encodes the testbed of section 4.1 — Xeon Gold 6242 CPUs, RTX 2080 /
+2080 Super GPUs, the Tesla V100 of Figure 3, PCI-E 3.0 x16 and Intel
+QPI/UPI interconnects — plus Figure 3(b)'s platform prices.
+
+``base_rate_k128`` is each processor's calibrated SGD-MF throughput
+(parameter updates per second at latent dimension k=128 on
+Netflix-shaped data), taken from Table 4 where the paper measured it;
+dataset-dependent corrections live in :mod:`repro.hardware.calibration`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ProcessorKind(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+class BusKind(enum.Enum):
+    PCIE = "pcie"
+    QPI = "qpi"
+    UPI = "upi"
+    NVLINK = "nvlink"
+    SHM = "shm"  # server and worker share physical memory (special worker)
+
+
+@dataclass(frozen=True)
+class BusSpec:
+    """A worker<->server interconnect channel."""
+
+    name: str
+    kind: BusKind
+    bandwidth_gbs: float  # sustained one-direction bandwidth, GB/s
+    latency_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bus bandwidth must be positive")
+        if self.latency_us < 0:
+            raise ValueError("bus latency must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` over this channel."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Static description of one CPU or GPU.
+
+    Parameters
+    ----------
+    base_rate_k128:
+        Calibrated SGD update throughput (updates/s) at k=128 on
+        Netflix-shaped data, at ``ref_threads`` threads (Table 4).
+    bandwidth_anchors:
+        ``(threads, GB/s)`` anchor points of measured DRAM bandwidth as
+        a function of active threads; CPUs scale with thread count
+        (Table 2's 6242 vs 6242l-10), GPUs have a single anchor.
+    partition_boost:
+        Fractional bandwidth gain when a worker processes a partition
+        instead of the full dataset (Table 2's IW vs DP0 columns): the
+        working set shrinks and caches hit more.  ~4% for GPUs, ~1% for
+        CPUs at vanishing partition size.
+    copy_engines:
+        Independent DMA engines usable for async transfer overlap
+        (Strategy 3); discrete NVIDIA GPUs have 2, a CPU has one only if
+        it carries an integrated GPU whose BLT engine can copy.
+    """
+
+    name: str
+    kind: ProcessorKind
+    ref_threads: int
+    max_threads: int
+    base_rate_k128: float
+    bandwidth_anchors: tuple[tuple[int, float], ...]
+    partition_boost: float
+    price_usd: float
+    copy_engines: int = 0
+    integrated_gpu: bool = False
+    memory_gb: float = 0.0  # device memory (GPUs); 0 = host-memory processor
+    tdp_watts: float = 0.0  # thermal design power, for the energy model
+
+    def __post_init__(self) -> None:
+        if self.base_rate_k128 <= 0:
+            raise ValueError("base_rate_k128 must be positive")
+        if self.ref_threads <= 0 or self.max_threads < self.ref_threads:
+            raise ValueError("invalid thread configuration")
+        if not self.bandwidth_anchors:
+            raise ValueError("need at least one bandwidth anchor")
+        if self.partition_boost < 0:
+            raise ValueError("partition_boost must be non-negative")
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.kind is ProcessorKind.CPU
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is ProcessorKind.GPU
+
+    def dram_bandwidth(self, threads: int | None = None) -> float:
+        """Measured DRAM bandwidth (GB/s) at a thread count.
+
+        Piecewise-linear interpolation between anchors, clamped at the
+        ends (bandwidth saturates beyond the last anchor).
+        """
+        anchors = sorted(self.bandwidth_anchors)
+        if threads is None or len(anchors) == 1:
+            # reference configuration
+            for t, b in anchors:
+                if t == self.ref_threads:
+                    return b
+            return anchors[-1][1]
+        t = max(1, min(threads, self.max_threads))
+        if t <= anchors[0][0]:
+            return anchors[0][1]
+        if t >= anchors[-1][0]:
+            return anchors[-1][1]
+        for (t0, b0), (t1, b1) in zip(anchors, anchors[1:]):
+            if t0 <= t <= t1:
+                return b0 + (b1 - b0) * (t - t0) / (t1 - t0)
+        return anchors[-1][1]  # pragma: no cover - unreachable
+
+
+# ---------------------------------------------------------------------------
+# Processor catalog.
+#
+# base_rate_k128 sources: Table 4 "Netflix" row for 6242-24T / 6242-16T /
+# 2080 / 2080S.  6242L-10 (the 10-thread CPU_0 configuration used to
+# "increase the heterogeneity", section 4.1) and the V100 (Figure 3 only)
+# are extrapolated; see DESIGN.md section 5.
+#
+# Bandwidth anchors: Table 2 measured values (67.30 GB/s at 16 threads,
+# 39.32 at 10; 378.6 for the 2080, 407.1 for the 2080S).  CPU bandwidth
+# saturates at 16 threads (Table 2 quotes 67.3 for the 24-thread CPU_1
+# as well); the 24T throughput edge over 16T is compute-side and enters
+# through the explicit "6242-24T" calibration rows of Table 4.
+# ---------------------------------------------------------------------------
+
+XEON_6242 = ProcessorSpec(
+    name="6242",
+    kind=ProcessorKind.CPU,
+    ref_threads=16,
+    max_threads=32,
+    base_rate_k128=272_502_189.0,
+    bandwidth_anchors=((10, 39.32), (16, 67.30), (24, 67.30)),
+    partition_boost=0.010,
+    price_usd=2_529.0,
+    copy_engines=1,
+    integrated_gpu=False,
+    tdp_watts=150.0,
+)
+
+# CPU_0 configured down to 10 threads ("6242l" in Table 2 / Figure 9):
+# the time-shared server/special-worker configuration.
+XEON_6242L_10T = ProcessorSpec(
+    name="6242L",
+    kind=ProcessorKind.CPU,
+    ref_threads=10,
+    max_threads=32,
+    base_rate_k128=159_211_000.0,  # 272.5e6 * (39.32/67.30)
+    bandwidth_anchors=((10, 39.32), (16, 67.30), (24, 67.30)),
+    partition_boost=0.010,
+    price_usd=2_529.0,
+    copy_engines=1,
+    integrated_gpu=False,
+    tdp_watts=150.0,
+)
+
+RTX_2080 = ProcessorSpec(
+    name="2080",
+    kind=ProcessorKind.GPU,
+    ref_threads=41_216,
+    max_threads=41_216,
+    base_rate_k128=918_333_483.0,
+    bandwidth_anchors=((41_216, 378.62),),
+    partition_boost=0.042,
+    price_usd=699.0,
+    copy_engines=2,
+    memory_gb=8.0,
+    tdp_watts=215.0,
+)
+
+RTX_2080S = ProcessorSpec(
+    name="2080S",
+    kind=ProcessorKind.GPU,
+    ref_threads=43_008,
+    max_threads=43_008,
+    base_rate_k128=1_052_866_849.0,
+    bandwidth_anchors=((43_008, 407.10),),
+    partition_boost=0.042,
+    price_usd=699.0,
+    copy_engines=2,
+    memory_gb=8.0,
+    tdp_watts=250.0,
+)
+
+TESLA_V100 = ProcessorSpec(
+    name="V100",
+    kind=ProcessorKind.GPU,
+    ref_threads=81_920,
+    max_threads=81_920,
+    base_rate_k128=1_280_000_000.0,  # Figure 3(a): a bit faster than 2080S
+    bandwidth_anchors=((81_920, 900.0),),
+    partition_boost=0.042,
+    price_usd=8_999.0,
+    copy_engines=2,
+    memory_gb=16.0,
+    tdp_watts=300.0,
+)
+
+PCIE3_X16 = BusSpec(name="PCI-E 3.0 x16", kind=BusKind.PCIE, bandwidth_gbs=15.75)
+QPI = BusSpec(name="QPI", kind=BusKind.QPI, bandwidth_gbs=16.0)
+UPI = BusSpec(name="UPI", kind=BusKind.UPI, bandwidth_gbs=20.8)
+# the special worker lives on the server's CPU: pull/push are memcpy at
+# (a conservative fraction of) memory bandwidth
+SHARED_MEMORY = BusSpec(name="shared-memory", kind=BusKind.SHM, bandwidth_gbs=40.0, latency_us=0.5)
+
+PROCESSOR_CATALOG: dict[str, ProcessorSpec] = {
+    spec.name: spec
+    for spec in (XEON_6242, XEON_6242L_10T, RTX_2080, RTX_2080S, TESLA_V100)
+}
+
+BUS_CATALOG: dict[str, BusSpec] = {
+    bus.name: bus for bus in (PCIE3_X16, QPI, UPI, SHARED_MEMORY)
+}

@@ -1,0 +1,75 @@
+"""Chrome trace-event export for execution timelines.
+
+Converts a :class:`~repro.hardware.timeline.Timeline` into the Trace
+Event JSON format that ``chrome://tracing`` / Perfetto render — the
+interactive counterpart of the ASCII Gantt, with one track per worker
+and color-coded pull/compute/push/sync phases (the tooling equivalent
+of the paper's Nsight Systems screenshots).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.hardware.timeline import Phase, Timeline
+
+#: chrome trace colour names per phase
+_COLORS = {
+    Phase.PULL: "thread_state_iowait",
+    Phase.COMPUTE: "thread_state_running",
+    Phase.PUSH: "thread_state_runnable",
+    Phase.SYNC: "terrible",
+}
+
+#: trace timestamps are microseconds
+_US = 1e6
+
+
+def timeline_to_trace_events(timeline: Timeline, time_unit: float = 1.0) -> list[dict]:
+    """Convert spans to complete ('X') trace events.
+
+    ``time_unit`` scales span times to seconds (pass 1e-3 if the
+    timeline was built in milliseconds).
+    """
+    if time_unit <= 0:
+        raise ValueError("time_unit must be positive")
+    workers = timeline.workers()
+    tids = {name: i + 1 for i, name in enumerate(workers)}
+    events: list[dict] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for name, tid in tids.items()
+    ]
+    for span in timeline.spans:
+        events.append(
+            {
+                "name": span.phase.value,
+                "cat": f"epoch-{span.epoch}",
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[span.worker],
+                "ts": span.start * time_unit * _US,
+                "dur": span.duration * time_unit * _US,
+                "cname": _COLORS[span.phase],
+                "args": {"epoch": span.epoch},
+            }
+        )
+    return events
+
+
+def export_chrome_trace(
+    timeline: Timeline,
+    path: str | os.PathLike,
+    time_unit: float = 1.0,
+) -> int:
+    """Write a chrome://tracing JSON file; returns the event count."""
+    events = timeline_to_trace_events(timeline, time_unit)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)

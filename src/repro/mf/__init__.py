@@ -1,0 +1,79 @@
+"""SGD-based matrix-factorization algorithms (the numeric substrate).
+
+Implements the MF model and the three SGD algorithm families the paper
+uses:
+
+* :mod:`repro.mf.sgd` — serial SGD reference and Hogwild-style
+  asynchronous SGD (the theoretical basis, Niu et al. 2011);
+* :mod:`repro.mf.fpsgd` — FPSGD (Chin et al. 2015), the multi-core CPU
+  baseline: a (t+1) x (t+1) block grid with a free-block scheduler;
+* :mod:`repro.mf.cumf` — CuMF_SGD (Xie et al. 2017), the GPU baseline:
+  batched lock-free updates, here with the authors' block-sorting
+  modification.
+
+All kernels are vectorized NumPy with explicit conflict policies so the
+*semantics* (lost updates under asynchrony, block independence under
+FPSGD) match the originals even though the instruction set differs.
+"""
+
+from repro.mf.model import MFModel
+from repro.mf.loss import rmse, regularized_loss
+from repro.mf.kernels import sgd_batch_update, sgd_epoch, conflict_stats, ConflictPolicy
+from repro.mf.sgd import SerialSGD, HogwildSGD, TrainHistory
+from repro.mf.fpsgd import FPSGD, BlockGrid, BlockScheduler
+from repro.mf.cumf import CuMFSGD
+from repro.mf.dsgd import DSGD, dsgd_epoch_time, stratum_schedule
+from repro.mf.nomad import NOMAD
+from repro.mf.hsgd import HSGD
+from repro.mf.als import ALS, als_flops_per_rating
+from repro.mf.biased import BiasedMF
+from repro.mf.search import SearchSpace, SearchReport, SearchResult, grid_search
+from repro.mf.ccd import CCDPlusPlus, fold_in_user
+from repro.mf.schedules import ConstantLR, InverseTimeDecay, ExponentialDecay, BoldDriver
+from repro.mf.evaluation import (
+    mae,
+    recommend_top_n,
+    evaluate_ranking,
+    candidate_ndcg,
+    RankingReport,
+)
+
+__all__ = [
+    "MFModel",
+    "rmse",
+    "regularized_loss",
+    "sgd_batch_update",
+    "sgd_epoch",
+    "conflict_stats",
+    "ConflictPolicy",
+    "SerialSGD",
+    "HogwildSGD",
+    "TrainHistory",
+    "FPSGD",
+    "BlockGrid",
+    "BlockScheduler",
+    "CuMFSGD",
+    "DSGD",
+    "dsgd_epoch_time",
+    "stratum_schedule",
+    "NOMAD",
+    "HSGD",
+    "ALS",
+    "als_flops_per_rating",
+    "BiasedMF",
+    "SearchSpace",
+    "SearchReport",
+    "SearchResult",
+    "grid_search",
+    "CCDPlusPlus",
+    "fold_in_user",
+    "ConstantLR",
+    "InverseTimeDecay",
+    "ExponentialDecay",
+    "BoldDriver",
+    "mae",
+    "recommend_top_n",
+    "evaluate_ranking",
+    "candidate_ndcg",
+    "RankingReport",
+]

@@ -1,0 +1,126 @@
+"""DSGD baseline (Gemulla et al., KDD 2011) — distributed block rotation.
+
+DSGD partitions the rating matrix into a ``p x p`` block grid and runs
+``p`` *strata* per epoch: in stratum s, worker i processes block
+``(i, (i + s) mod p)``.  Blocks within a stratum are pairwise disjoint
+in both rows and columns, so the stratum is embarrassingly parallel;
+workers synchronize at every stratum boundary (the MapReduce barrier).
+
+The paper's related-work critique (section 5) is that DSGD "equally
+divide[s] the input data into rows, which does not consider the
+difference in machine performance", so in a heterogeneous system the
+fast processors stall at each barrier waiting for the slow ones.  The
+:func:`dsgd_epoch_time` helper models exactly that bucket effect, which
+the ablation benchmark compares against HCC-MF's DP partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.ratings import RatingMatrix
+from repro.mf.fpsgd import BlockGrid
+from repro.mf.kernels import ConflictPolicy, sgd_batch_update
+from repro.mf.model import MFModel
+from repro.mf.sgd import TrainHistory
+
+
+def stratum_schedule(p: int) -> list[list[tuple[int, int]]]:
+    """The p strata of DSGD's diagonal rotation.
+
+    Stratum ``s`` assigns worker ``i`` the block ``(i, (i + s) % p)``;
+    each stratum covers one block per worker with disjoint row and
+    column bands, and the p strata together cover the whole grid.
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    return [[(i, (i + s) % p) for i in range(p)] for s in range(p)]
+
+
+class DSGD:
+    """Synchronous stratified SGD over a p x p block grid."""
+
+    def __init__(
+        self,
+        k: int,
+        workers: int = 4,
+        lr: float = 0.005,
+        reg: float = 0.01,
+        batch_size: int = 4096,
+        seed: int = 0,
+    ):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.workers = workers
+        self.lr = lr
+        self.reg = reg
+        self.batch_size = batch_size
+        self.seed = seed
+        self.model: MFModel | None = None
+        self.history = TrainHistory()
+        self.strata_run = 0
+
+    def fit(
+        self,
+        ratings: RatingMatrix,
+        epochs: int = 20,
+        eval_data: RatingMatrix | None = None,
+    ) -> MFModel:
+        eval_data = eval_data if eval_data is not None else ratings
+        self.model = MFModel.init_for(ratings, self.k, seed=self.seed)
+        rng = np.random.default_rng(self.seed)
+        grid = BlockGrid(ratings.shuffle(rng), self.workers)
+        schedule = stratum_schedule(self.workers)
+        for _ in range(epochs):
+            epoch_sq, count = 0.0, 0
+            # strata run in random order each epoch (Gemulla's SSGD)
+            for s in rng.permutation(len(schedule)):
+                for i, j in schedule[s]:
+                    block = grid.block(i, j)
+                    if block.nnz == 0:
+                        continue
+                    sub = grid.ratings.take(block.entries)
+                    for rows, cols, vals in sub.batches(self.batch_size):
+                        mse = sgd_batch_update(
+                            self.model, rows, cols, vals, self.lr, self.reg,
+                            policy=ConflictPolicy.ATOMIC,
+                        )
+                        epoch_sq += mse * len(rows)
+                        count += len(rows)
+                self.strata_run += 1
+            self.history.record(self.model.rmse(eval_data), epoch_sq / max(count, 1))
+        return self.model
+
+
+def dsgd_epoch_time(
+    block_nnz: np.ndarray,
+    worker_rates: Sequence[float],
+    barrier_cost: float = 0.0,
+) -> float:
+    """Modeled DSGD epoch time on heterogeneous workers (the bucket effect).
+
+    ``block_nnz[i, j]`` is the entry count of grid block (i, j);
+    ``worker_rates[i]`` is worker i's updates/s.  Each stratum ends at a
+    barrier, so its duration is the *slowest* worker's block time — an
+    equal split leaves fast processors idle, which is precisely why
+    HCC-MF partitions by measured throughput instead.
+    """
+    block_nnz = np.asarray(block_nnz, dtype=np.float64)
+    rates = np.asarray(list(worker_rates), dtype=np.float64)
+    p = len(rates)
+    if block_nnz.shape != (p, p):
+        raise ValueError(f"block grid must be {p}x{p}, got {block_nnz.shape}")
+    if np.any(rates <= 0):
+        raise ValueError("worker rates must be positive")
+    if barrier_cost < 0:
+        raise ValueError("barrier_cost must be non-negative")
+    total = 0.0
+    for s in range(p):
+        stratum = [block_nnz[i, (i + s) % p] / rates[i] for i in range(p)]
+        total += max(stratum) + barrier_cost
+    return total

@@ -1,0 +1,106 @@
+"""HSGD baseline (Yu et al., 2020) — single CPU + single GPU hybrid.
+
+The paper's introduction positions HSGD as the closest prior work:
+it "combines FPSGD and CuMF_SGD" on one CPU-GPU pair.  HSGD statically
+splits the rating matrix between the two processors — the CPU side runs
+FPSGD's block-scheduled updates, the GPU side CuMF-style waves — and
+merges the item factors after each epoch.
+
+HSGD is the conceptual precursor of HCC-MF: it already mixes processor
+kinds but supports exactly two workers, has no cost model to derive the
+split (the user supplies ``gpu_fraction``), and no communication
+optimization.  HCC-MF generalizes all three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.grid import GridKind, partition_rows
+from repro.data.ratings import RatingMatrix
+from repro.mf.kernels import ConflictPolicy, sgd_batch_update
+from repro.mf.model import MFModel
+from repro.mf.sgd import TrainHistory
+
+
+class HSGD:
+    """Hybrid single-CPU/single-GPU SGD-based MF."""
+
+    def __init__(
+        self,
+        k: int,
+        gpu_fraction: float = 0.75,
+        cpu_threads: int = 4,
+        gpu_threads: int = 4096,
+        lr: float = 0.005,
+        reg: float = 0.01,
+        batch_size: int = 4096,
+        seed: int = 0,
+    ):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not (0.0 < gpu_fraction < 1.0):
+            raise ValueError("gpu_fraction must be in (0, 1)")
+        if cpu_threads <= 0 or gpu_threads <= 0:
+            raise ValueError("thread counts must be positive")
+        self.k = k
+        self.gpu_fraction = gpu_fraction
+        self.cpu_threads = cpu_threads
+        self.gpu_threads = gpu_threads
+        self.lr = lr
+        self.reg = reg
+        self.batch_size = batch_size
+        self.seed = seed
+        self.model: MFModel | None = None
+        self.history = TrainHistory()
+
+    def fit(
+        self,
+        ratings: RatingMatrix,
+        epochs: int = 20,
+        eval_data: RatingMatrix | None = None,
+    ) -> MFModel:
+        eval_data = eval_data if eval_data is not None else ratings
+        self.model = MFModel.init_for(ratings, self.k, seed=self.seed)
+        rng = np.random.default_rng(self.seed)
+        data = ratings.shuffle(rng)
+        # static row split: GPU gets gpu_fraction of the entries
+        cpu_part, gpu_part = partition_rows(
+            data, [1.0 - self.gpu_fraction, self.gpu_fraction], GridKind.ROW
+        )
+        cpu_data = cpu_part.extract(data)
+        gpu_data = gpu_part.extract(data).sort_by_row()  # CuMF block sorting
+
+        for _ in range(epochs):
+            q_base = self.model.Q.copy()
+
+            # CPU side: FPSGD-flavoured moderate batches, atomic conflicts
+            cpu_model = MFModel(self.model.P, q_base.copy())
+            order = rng.permutation(cpu_data.nnz)
+            shuffled = cpu_data.take(order)
+            for rows, cols, vals in shuffled.batches(self.batch_size):
+                sgd_batch_update(
+                    cpu_model, rows, cols, vals, self.lr, self.reg,
+                    policy=ConflictPolicy.ATOMIC,
+                )
+
+            # GPU side: CuMF-flavoured thread waves, lock-free conflicts
+            gpu_model = MFModel(self.model.P, q_base.copy())
+            order = rng.permutation(gpu_data.nnz)
+            shuffled = gpu_data.take(order)
+            for rows, cols, vals in shuffled.batches(self.gpu_threads):
+                sgd_batch_update(
+                    gpu_model, rows, cols, vals, self.lr, self.reg,
+                    policy=ConflictPolicy.LAST_WRITE,
+                )
+
+            # epoch-end merge: both sides trained disjoint rows, so P is
+            # already consistent; Q deltas add (disjoint samples)
+            self.model.Q[...] = (
+                q_base + (cpu_model.Q - q_base) + (gpu_model.Q - q_base)
+            )
+            self.history.record(
+                self.model.rmse(eval_data),
+                float(self.model.rmse(data)) ** 2,
+            )
+        return self.model

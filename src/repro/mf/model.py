@@ -1,0 +1,99 @@
+"""The factor model: user matrix P and item matrix Q (paper Figure 1).
+
+``P`` is ``(m, k)`` and ``Q`` is ``(k, n)`` so that the predicted rating
+matrix is ``P @ Q`` — the same orientation the paper draws.  Both are
+``float32``, matching the FP32 training / FP16 transmission design of
+section 3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.ratings import RatingMatrix
+
+
+@dataclass
+class MFModel:
+    """Latent-factor model holding P (m x k) and Q (k x n)."""
+
+    P: np.ndarray
+    Q: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.P = np.ascontiguousarray(self.P, dtype=np.float32)
+        self.Q = np.ascontiguousarray(self.Q, dtype=np.float32)
+        if self.P.ndim != 2 or self.Q.ndim != 2:
+            raise ValueError("P and Q must be 2-D")
+        if self.P.shape[1] != self.Q.shape[0]:
+            raise ValueError(
+                f"inner dimensions disagree: P is {self.P.shape}, Q is {self.Q.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        return self.P.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.Q.shape[1]
+
+    @property
+    def k(self) -> int:
+        """Latent dimension: columns of P / rows of Q (Table 1)."""
+        return self.P.shape[1]
+
+    @property
+    def feature_bytes(self) -> int:
+        """Total FP32 footprint of the feature matrices, 4k(m+n)."""
+        return self.P.nbytes + self.Q.nbytes
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def init(cls, m: int, n: int, k: int, mean_rating: float = 3.0, seed: int = 0) -> "MFModel":
+        """Initialize so that initial predictions hover near the mean rating.
+
+        Entries are ``sqrt(mean/k)`` plus small noise, the common MF
+        initialization (used by cuMF and LIBMF): ``p . q ~ mean`` at
+        epoch 0, which keeps early SGD steps well-scaled for any rating
+        scale (Netflix 1-5 vs. Yahoo R1 0-100).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if mean_rating <= 0:
+            raise ValueError("mean_rating must be positive")
+        rng = np.random.default_rng(seed)
+        base = np.sqrt(mean_rating / k)
+        p = base * (1.0 + 0.1 * rng.standard_normal((m, k)))
+        q = base * (1.0 + 0.1 * rng.standard_normal((k, n)))
+        return cls(p.astype(np.float32), q.astype(np.float32))
+
+    @classmethod
+    def init_for(cls, ratings: RatingMatrix, k: int, seed: int = 0) -> "MFModel":
+        mean = ratings.mean_rating() or 1.0
+        return cls.init(ratings.m, ratings.n, k, mean_rating=max(mean, 1e-3), seed=seed)
+
+    # ------------------------------------------------------------------
+    def predict(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Predicted ratings for coordinate pairs: ``sum_k P[r,k] Q[k,c]``."""
+        return np.einsum("ij,ji->i", self.P[rows], self.Q[:, cols], optimize=True)
+
+    def predict_dense(self) -> np.ndarray:
+        """Full predicted rating matrix R_p = P @ Q (small models only)."""
+        return self.P @ self.Q
+
+    def rmse(self, ratings: RatingMatrix) -> float:
+        """Root mean square error over the observed entries."""
+        if ratings.nnz == 0:
+            return 0.0
+        err = ratings.vals - self.predict(ratings.rows, ratings.cols)
+        return float(np.sqrt(np.mean(np.square(err, dtype=np.float64))))
+
+    def copy(self) -> "MFModel":
+        return MFModel(self.P.copy(), self.Q.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MFModel(m={self.m}, n={self.n}, k={self.k})"

@@ -1,0 +1,106 @@
+"""Learning-rate schedules for SGD-based MF.
+
+The paper fixes gamma = 0.005, but production MF trainers decay the
+step size — LIBMF/FPSGD ship inverse-time decay and cuMF uses a fixed
+schedule with warm restarts.  These callables plug into the trainers'
+``lr_schedule`` hooks: each maps an epoch index to a learning rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class LRSchedule(Protocol):
+    """Maps an epoch index (0-based) to a learning rate."""
+
+    def __call__(self, epoch: int) -> float: ...
+
+
+@dataclass(frozen=True)
+class ConstantLR:
+    """The paper's schedule: gamma throughout."""
+
+    lr: float
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.lr
+
+
+@dataclass(frozen=True)
+class InverseTimeDecay:
+    """LIBMF-style decay: lr0 / (1 + decay * epoch)."""
+
+    lr0: float
+    decay: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.lr0 <= 0:
+            raise ValueError("lr0 must be positive")
+        if self.decay < 0:
+            raise ValueError("decay must be non-negative")
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.lr0 / (1.0 + self.decay * epoch)
+
+
+@dataclass(frozen=True)
+class ExponentialDecay:
+    """lr0 * gamma^epoch, gamma in (0, 1]."""
+
+    lr0: float
+    gamma: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.lr0 <= 0:
+            raise ValueError("lr0 must be positive")
+        if not (0.0 < self.gamma <= 1.0):
+            raise ValueError("gamma must be in (0, 1]")
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.lr0 * self.gamma**epoch
+
+
+class BoldDriver:
+    """Adaptive schedule: grow on improvement, cut sharply on regression.
+
+    The classic heuristic MF trainers use when the loss plateaus:
+    multiply the rate by ``grow`` after an epoch that improved the
+    monitored loss, by ``shrink`` after one that worsened it.  Feed it
+    the epoch losses via :meth:`observe`.
+    """
+
+    def __init__(self, lr0: float, grow: float = 1.05, shrink: float = 0.5):
+        if lr0 <= 0:
+            raise ValueError("lr0 must be positive")
+        if grow < 1.0 or not (0.0 < shrink < 1.0):
+            raise ValueError("need grow >= 1 and shrink in (0, 1)")
+        self.lr = lr0
+        self.grow = grow
+        self.shrink = shrink
+        self._last_loss: float | None = None
+
+    def observe(self, loss: float) -> None:
+        """Report the post-epoch loss; adjusts the rate for the next epoch."""
+        if self._last_loss is not None:
+            if loss < self._last_loss:
+                self.lr *= self.grow
+            else:
+                self.lr *= self.shrink
+        self._last_loss = loss
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.lr

@@ -1,0 +1,117 @@
+"""Hyper-parameter search for MF trainers.
+
+The paper fixes (k, gamma, lambda) per dataset from prior work; a
+library user tuning a new dataset needs the sweep.  This module runs a
+grid (or random subset) of configurations against a held-out split with
+early stopping, and reports the validation-best configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.ratings import RatingMatrix
+from repro.mf.sgd import HogwildSGD
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Axes of the grid: every combination is a candidate."""
+
+    k: Sequence[int] = (8, 16, 32)
+    lr: Sequence[float] = (0.005, 0.01, 0.02)
+    reg: Sequence[float] = (0.01, 0.05)
+
+    def __post_init__(self) -> None:
+        if not (self.k and self.lr and self.reg):
+            raise ValueError("every axis needs at least one value")
+        if any(v <= 0 for v in self.k):
+            raise ValueError("k values must be positive")
+        if any(v <= 0 for v in self.lr):
+            raise ValueError("lr values must be positive")
+        if any(v < 0 for v in self.reg):
+            raise ValueError("reg values must be non-negative")
+
+    def combinations(self) -> list[dict]:
+        return [
+            {"k": k, "lr": lr, "reg": reg}
+            for k, lr, reg in itertools.product(self.k, self.lr, self.reg)
+        ]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one candidate evaluation."""
+
+    params: dict
+    val_rmse: float
+    epochs_run: int
+    history: list[float] = field(default_factory=list)
+
+
+@dataclass
+class SearchReport:
+    """All candidates, best first."""
+
+    results: list[SearchResult]
+
+    @property
+    def best(self) -> SearchResult:
+        return self.results[0]
+
+    def top(self, n: int = 5) -> list[SearchResult]:
+        return self.results[:n]
+
+
+def grid_search(
+    ratings: RatingMatrix,
+    space: SearchSpace | None = None,
+    epochs: int = 15,
+    val_fraction: float = 0.15,
+    early_stop_tol: float = 1e-3,
+    max_candidates: int | None = None,
+    seed: int = 0,
+) -> SearchReport:
+    """Evaluate the grid against a held-out split.
+
+    Candidates train on the train split with early stopping and are
+    ranked by final validation RMSE.  ``max_candidates`` subsamples the
+    grid uniformly at random (random search) when the full grid is too
+    expensive.
+    """
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    if not (0.0 < val_fraction < 1.0):
+        raise ValueError("val_fraction must be in (0, 1)")
+    space = space if space is not None else SearchSpace()
+    train, val = ratings.split(test_fraction=val_fraction, seed=seed)
+    if val.nnz == 0:
+        raise ValueError("validation split is empty; dataset too small")
+
+    candidates = space.combinations()
+    if max_candidates is not None and len(candidates) > max_candidates:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(candidates), size=max_candidates, replace=False)
+        candidates = [candidates[i] for i in sorted(idx)]
+
+    results: list[SearchResult] = []
+    for params in candidates:
+        trainer = HogwildSGD(
+            k=params["k"], lr=params["lr"], reg=params["reg"], seed=seed
+        )
+        trainer.fit(train, epochs=epochs, eval_data=val,
+                    early_stop_tol=early_stop_tol)
+        results.append(
+            SearchResult(
+                params=params,
+                val_rmse=trainer.history.final_rmse,
+                epochs_run=trainer.history.epochs,
+                history=list(trainer.history.rmse),
+            )
+        )
+    results.sort(key=lambda r: r.val_rmse)
+    return SearchReport(results=results)

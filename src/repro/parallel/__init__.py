@@ -1,0 +1,25 @@
+"""Real shared-memory parallel execution substrate.
+
+The paper implements HCC-MF with one *process* per worker and shared
+pinned memory for the pull/push buffers (section 3.5).  This subpackage
+reproduces those mechanics on host CPUs with
+:mod:`multiprocessing.shared_memory`: a server process owns the global
+feature matrices, worker processes train row-grid shards in parallel,
+and pull/push are single copies through shared buffers.
+
+This is the wall-clock execution plane; the calibrated timing plane
+(:mod:`repro.hardware`) models the paper's actual CPU+GPU testbed.
+"""
+
+from repro.parallel.shm import SharedArray, SharedArraySpec
+from repro.parallel.executor import SharedMemoryTrainer, ParallelTrainResult
+from repro.parallel.tuning import MeasuredPartition, measure_partition
+
+__all__ = [
+    "SharedArray",
+    "SharedArraySpec",
+    "SharedMemoryTrainer",
+    "ParallelTrainResult",
+    "MeasuredPartition",
+    "measure_partition",
+]

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import NETFLIX
+from repro.data.ratings import RatingMatrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_ratings() -> RatingMatrix:
+    """A fixed 6x5 rating matrix with 15 entries."""
+    dense = np.array(
+        [
+            [5, 0, 3, 0, 1],
+            [4, 2, 0, 0, 0],
+            [0, 3, 1, 5, 0],
+            [1, 5, 0, 3, 0],
+            [4, 0, 0, 0, 2],
+            [0, 0, 3, 4, 0],
+        ],
+        dtype=np.float32,
+    )
+    return RatingMatrix.from_dense(dense)
+
+
+@pytest.fixture
+def small_ratings() -> RatingMatrix:
+    """A synthetic Netflix-shaped matrix, ~8k entries."""
+    return NETFLIX.scaled(8000).generate(seed=3)
+
+
+@pytest.fixture
+def medium_ratings() -> RatingMatrix:
+    """A synthetic Netflix-shaped matrix, ~25k entries."""
+    return NETFLIX.scaled(25_000).generate(seed=5)

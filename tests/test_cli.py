@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "Netflix"
+        assert args.partition == "auto"
+        assert not args.fp16
+
+    def test_bad_partition_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--partition", "dp9"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Netflix" in out
+        assert "99072112" in out
+
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "2080S" in out
+        assert "UPI" in out
+
+    def test_train_timing_only(self, capsys):
+        assert main([
+            "train", "--timing-only", "--epochs", "3", "--k", "128",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "partition: dp1" in out
+        assert "rmse" not in out
+
+    def test_train_numeric_with_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main([
+            "train", "--dataset", "netflix", "--nnz", "4000",
+            "--epochs", "2", "--k", "8", "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rmse:" in out
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_train_q_rotate(self, capsys):
+        assert main([
+            "train", "--dataset", "MovieLens-20m", "--nnz", "4000",
+            "--epochs", "2", "--k", "8", "--transmit", "q-rotate",
+        ]) == 0
+        assert "rmse:" in capsys.readouterr().out
+
+    def test_analyze_synthetic(self, capsys):
+        assert main(["analyze", "--dataset", "R2", "--nnz", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse" in out and "recommended" in out
+
+    def test_analyze_file(self, capsys, tmp_path):
+        from repro.data.datasets import NETFLIX
+        from repro.data.io import save_text
+
+        path = tmp_path / "r.txt"
+        save_text(NETFLIX.scaled(2000).generate(seed=0), path)
+        assert main(["analyze", "--file", str(path)]) == 0
+        assert "Gini" in capsys.readouterr().out
+
+    def test_autotune(self, capsys):
+        assert main(["autotune", "--dataset", "MovieLens-20m"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+        assert "advice:" in out
+
+    def test_autotune_no_rotation(self, capsys):
+        assert main(["autotune", "--no-rotation"]) == 0
+        assert "q-rotate" not in capsys.readouterr().out
+
+    def test_reproduce_selected(self, capsys):
+        assert main(["reproduce", "fig3b"]) == 0
+        assert "[fig3b]" in capsys.readouterr().out
+
+    def test_reproduce_unknown_id(self, capsys):
+        assert main(["reproduce", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_ablate_selected(self, capsys):
+        assert main(["ablate", "lambda"]) == 0
+        assert "[ablate-lambda]" in capsys.readouterr().out
+
+    def test_ablate_unknown_id(self, capsys):
+        assert main(["ablate", "nope"]) == 2
+        assert "unknown ablation" in capsys.readouterr().err

@@ -1,0 +1,108 @@
+"""Unit tests for online adaptive re-partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveRepartitioner,
+    SlowdownEvent,
+    simulate_adaptive_run,
+)
+from repro.data.datasets import NETFLIX
+from repro.hardware.topology import paper_workstation
+
+
+class TestRepartitioner:
+    def test_balanced_times_no_action(self):
+        c = AdaptiveRepartitioner([0.25] * 4)
+        assert c.observe([1.0, 1.0, 1.02, 0.99]) is None
+        assert c.repartitions == 0
+
+    def test_straggler_triggers_rebalance(self):
+        c = AdaptiveRepartitioner([0.25] * 4, imbalance_threshold=0.15)
+        new = c.observe([1.0, 1.0, 1.0, 2.0])  # worker 3 twice as slow
+        assert new is not None
+        assert c.repartitions == 1
+        # the straggler sheds data...
+        assert new[3] < 0.25
+        # ...and the result balances under the observed rates
+        rates = np.asarray([0.25, 0.25, 0.25, 0.125])  # x/t
+        np.testing.assert_allclose(new, rates / rates.sum())
+
+    def test_rebalanced_times_equalize(self):
+        c = AdaptiveRepartitioner([0.25] * 4)
+        new = c.observe([1.0, 1.0, 1.0, 2.0])
+        # under unchanged rates the new partition's times are equal
+        rates = np.asarray([0.25, 0.25, 0.25, 0.125])
+        times = new / rates
+        np.testing.assert_allclose(times, times[0])
+
+    def test_cooldown(self):
+        c = AdaptiveRepartitioner([0.5, 0.5], cooldown_epochs=2)
+        assert c.observe([1.0, 3.0]) is not None
+        assert c.observe([1.0, 3.0]) is None  # cooling down
+        assert c.observe([1.0, 3.0]) is None
+        assert c.observe([1.0, 3.0]) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveRepartitioner([0.7, 0.7])
+        with pytest.raises(ValueError):
+            AdaptiveRepartitioner([0.5, 0.5], imbalance_threshold=0.0)
+        c = AdaptiveRepartitioner([0.5, 0.5])
+        with pytest.raises(ValueError):
+            c.observe([1.0])
+        with pytest.raises(ValueError):
+            c.observe([1.0, 0.0])
+
+
+class TestSlowdownEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowdownEvent(0, 0, factor=0.0)
+        with pytest.raises(ValueError):
+            SlowdownEvent(0, -1, factor=0.5)
+
+
+class TestSimulatedAdaptiveRun:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        plat = paper_workstation(16)
+        events = [SlowdownEvent(worker_index=2, epoch=5, factor=0.5)]
+        static = simulate_adaptive_run(plat, NETFLIX, events, epochs=20, adaptive=False)
+        adaptive = simulate_adaptive_run(plat, NETFLIX, events, epochs=20, adaptive=True)
+        return static, adaptive
+
+    def test_adaptation_recovers_time(self, runs):
+        static, adaptive = runs
+        assert adaptive.total_time < 0.85 * static.total_time
+
+    def test_repartition_fires_at_event(self, runs):
+        _, adaptive = runs
+        assert adaptive.repartition_epochs
+        assert adaptive.repartition_epochs[0] == 5
+
+    def test_post_adaptation_epochs_faster(self, runs):
+        static, adaptive = runs
+        assert adaptive.epoch_totals[8] < static.epoch_totals[8]
+
+    def test_pre_event_epochs_identical(self, runs):
+        static, adaptive = runs
+        for e in range(5):
+            assert adaptive.epoch_totals[e] == pytest.approx(static.epoch_totals[e])
+
+    def test_no_events_no_repartitions(self):
+        plat = paper_workstation(16)
+        run = simulate_adaptive_run(plat, NETFLIX, [], epochs=5, adaptive=True)
+        assert run.repartition_epochs == []
+
+    def test_out_of_range_event(self):
+        plat = paper_workstation(16)
+        with pytest.raises(IndexError):
+            simulate_adaptive_run(
+                plat, NETFLIX, [SlowdownEvent(99, 0, 0.5)], epochs=2
+            )
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            simulate_adaptive_run(paper_workstation(16), NETFLIX, [], epochs=0)

@@ -1,0 +1,87 @@
+"""Unit tests for the configuration auto-tuner."""
+
+import pytest
+
+from repro.core.autotune import (
+    COLLABORATION_REUSE_BOUND,
+    TuningReport,
+    autotune,
+    tuned_config,
+)
+from repro.core.config import TransmitMode
+from repro.data.datasets import MOVIELENS_20M, NETFLIX, YAHOO_R1
+from repro.hardware.topology import paper_workstation
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return paper_workstation(16)
+
+
+class TestAutotune:
+    def test_ranking_sorted(self, platform):
+        report = autotune(platform, NETFLIX)
+        times = [t.total_time for t in report.ranking]
+        assert times == sorted(times)
+        assert report.best is report.ranking[0]
+
+    def test_best_beats_pq(self, platform):
+        """Whatever wins must beat the unoptimized P&Q baseline."""
+        report = autotune(platform, NETFLIX)
+        pq = [
+            t for t in report.ranking
+            if t.config.comm.transmit is TransmitMode.P_AND_Q
+            and not t.config.comm.fp16
+            and t.config.comm.streams == 1
+        ][0]
+        assert report.best.total_time < pq.total_time
+
+    def test_rotation_can_be_excluded(self, platform):
+        report = autotune(platform, MOVIELENS_20M, include_rotation=False)
+        assert all(
+            t.config.comm.transmit is not TransmitMode.Q_ROTATE
+            for t in report.ranking
+        )
+
+    def test_movielens_advice_flags_low_reuse(self, platform):
+        report = autotune(platform, MOVIELENS_20M)
+        assert "below the ~1e3 bound" in report.advice
+        assert report.reuse_ratio < 200  # nnz/min(m,n) ~ 152
+
+    def test_netflix_advice_comfortable(self, platform):
+        # Netflix's post-Q-only reuse nnz/min(m,n) ~ 5.6e3: compute-bound
+        report = autotune(platform, NETFLIX)
+        assert report.collaboration_worthwhile
+        assert report.reuse_ratio > COLLABORATION_REUSE_BOUND
+        assert "comfortably exceeds" in report.advice
+
+    def test_r1_prefers_comm_optimizations(self, platform):
+        report = autotune(platform, YAHOO_R1, include_rotation=False)
+        best = report.best.config.comm
+        # R1 is comm/sync heavy: plain Q-only with 1 stream must not win
+        assert best.fp16 or best.streams > 1
+
+    def test_candidate_count(self, platform):
+        report = autotune(platform, NETFLIX, stream_options=(1, 4))
+        # 3 transmit modes x 2 fp16 x 2 stream options
+        assert len(report.ranking) == 12
+
+    def test_invalid_epochs(self, platform):
+        with pytest.raises(ValueError):
+            autotune(platform, NETFLIX, epochs=0)
+
+
+class TestTunedConfig:
+    def test_returns_config_with_overrides(self, platform):
+        cfg = tuned_config(platform, NETFLIX, epochs=20, seed=42)
+        assert cfg.seed == 42
+        assert cfg.epochs == 20
+
+    def test_labels_informative(self, platform):
+        report = autotune(platform, NETFLIX, stream_options=(1, 4))
+        labels = {t.label for t in report.ranking}
+        assert any("fp16" in l for l in labels)
+        assert any("4s" in l for l in labels)
+
+    def test_report_type(self, platform):
+        assert isinstance(autotune(platform, NETFLIX), TuningReport)

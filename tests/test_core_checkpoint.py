@@ -1,0 +1,106 @@
+"""Unit tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    load_checkpoint,
+    resume_hogwild,
+    save_checkpoint,
+)
+from repro.mf.model import MFModel
+from repro.mf.sgd import HogwildSGD
+
+
+@pytest.fixture
+def trained_ckpt(small_ratings):
+    h = HogwildSGD(k=8, lr=0.01, reg=0.01, seed=2)
+    h.fit(small_ratings, epochs=4)
+    return Checkpoint(
+        model=h.model,
+        epoch=4,
+        rmse_history=h.history.rmse,
+        config={"lr": 0.01, "reg": 0.01, "seed": 2, "batch_size": 4096},
+    )
+
+
+class TestSaveLoad:
+    def test_exact_roundtrip(self, trained_ckpt, tmp_path):
+        path = tmp_path / "ckpt"
+        save_checkpoint(trained_ckpt, path)
+        back = load_checkpoint(path)
+        np.testing.assert_array_equal(back.model.P, trained_ckpt.model.P)
+        np.testing.assert_array_equal(back.model.Q, trained_ckpt.model.Q)
+        assert back.epoch == 4
+        assert back.rmse_history == pytest.approx(trained_ckpt.rmse_history)
+        assert back.config["lr"] == 0.01
+
+    def test_npz_suffix_normalized(self, trained_ckpt, tmp_path):
+        save_checkpoint(trained_ckpt, tmp_path / "c.npz")
+        assert load_checkpoint(tmp_path / "c").epoch == 4
+
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nothing")
+
+    def test_version_checked(self, trained_ckpt, tmp_path):
+        import json
+
+        path = tmp_path / "c"
+        save_checkpoint(trained_ckpt, path)
+        meta = json.loads((tmp_path / "c.json").read_text())
+        meta["version"] = CHECKPOINT_VERSION + 99
+        (tmp_path / "c.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_shape_mismatch_detected(self, trained_ckpt, tmp_path):
+        import json
+
+        path = tmp_path / "c"
+        save_checkpoint(trained_ckpt, path)
+        meta = json.loads((tmp_path / "c.json").read_text())
+        meta["shape"]["k"] = 99
+        (tmp_path / "c.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="disagrees"):
+            load_checkpoint(path)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            Checkpoint(model=MFModel.init(2, 2, 2), epoch=-1)
+
+
+class TestResume:
+    def test_resume_continues_convergence(self, trained_ckpt, small_ratings, tmp_path):
+        save_checkpoint(trained_ckpt, tmp_path / "c")
+        loaded = load_checkpoint(tmp_path / "c")
+        resumed = resume_hogwild(loaded, small_ratings, extra_epochs=4)
+        assert resumed.epoch == 8
+        assert len(resumed.rmse_history) == 8
+        assert resumed.rmse_history[-1] < trained_ckpt.rmse_history[-1]
+
+    def test_resume_hyperparam_override(self, trained_ckpt, small_ratings):
+        resumed = resume_hogwild(trained_ckpt, small_ratings, 1, lr=0.123)
+        assert resumed.config["lr"] == 0.123
+
+    def test_resume_validation(self, trained_ckpt, small_ratings):
+        with pytest.raises(ValueError):
+            resume_hogwild(trained_ckpt, small_ratings, extra_epochs=0)
+
+    def test_full_run_close_to_resumed_run(self, small_ratings, tmp_path):
+        """4 + 4 resumed epochs land near a straight 8-epoch run (exact
+        equality is not expected: the resume uses a fresh RNG stream)."""
+        h8 = HogwildSGD(k=8, lr=0.01, reg=0.01, seed=2)
+        h8.fit(small_ratings, epochs=8)
+        h4 = HogwildSGD(k=8, lr=0.01, reg=0.01, seed=2)
+        h4.fit(small_ratings, epochs=4)
+        ckpt = Checkpoint(
+            model=h4.model, epoch=4, rmse_history=h4.history.rmse,
+            config={"lr": 0.01, "reg": 0.01, "seed": 2, "batch_size": 4096},
+        )
+        resumed = resume_hogwild(ckpt, small_ratings, extra_epochs=4)
+        assert resumed.rmse_history[-1] == pytest.approx(
+            h8.history.rmse[-1], abs=0.05
+        )

@@ -1,0 +1,77 @@
+"""Unit tests for FP16 wire compression (Strategy 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import (
+    FP16_MAX,
+    FP16_RELATIVE_ERROR_BOUND,
+    compress_fp16,
+    decompress_fp16,
+    roundtrip_error,
+    wire_bytes,
+)
+
+
+class TestCompress:
+    def test_dtype(self):
+        out = compress_fp16(np.ones(4, dtype=np.float32))
+        assert out.dtype == np.float16
+
+    def test_halves_bytes(self):
+        arr = np.ones(100, dtype=np.float32)
+        assert compress_fp16(arr).nbytes == arr.nbytes // 2
+
+    def test_overflow_clamped_not_inf(self):
+        out = compress_fp16(np.array([1e9, -1e9], dtype=np.float32))
+        assert np.all(np.isfinite(out.astype(np.float32)))
+        assert out[0] == np.float16(FP16_MAX)
+
+    def test_preserves_shape(self):
+        arr = np.zeros((3, 5), dtype=np.float32)
+        assert compress_fp16(arr).shape == (3, 5)
+
+
+class TestDecompress:
+    def test_roundtrip_dtype(self):
+        back = decompress_fp16(compress_fp16(np.ones(3, dtype=np.float32)))
+        assert back.dtype == np.float32
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            decompress_fp16(np.ones(3, dtype=np.float32))
+
+
+class TestRoundtripError:
+    def test_within_ieee_bound(self, rng):
+        arr = rng.uniform(0.01, 100.0, 1000).astype(np.float32)
+        assert roundtrip_error(arr) <= FP16_RELATIVE_ERROR_BOUND * 1.01
+
+    def test_feature_scale_values(self, rng):
+        """Feature entries are O(sqrt(rating/k)) ~ 0.1..2, comfortably in
+        FP16's sweet spot (the paper's Strategy 2 rationale)."""
+        arr = rng.uniform(0.05, 2.0, 10_000).astype(np.float32)
+        assert roundtrip_error(arr) < 5e-4
+
+    def test_zero_array(self):
+        assert roundtrip_error(np.zeros(10, dtype=np.float32)) == 0.0
+
+    def test_empty_array(self):
+        assert roundtrip_error(np.array([], dtype=np.float32)) == 0.0
+
+    def test_exact_halves(self):
+        # powers of two are exactly representable
+        arr = np.array([0.5, 1.0, 2.0, 4.0], dtype=np.float32)
+        assert roundtrip_error(arr) == 0.0
+
+
+class TestWireBytes:
+    def test_fp32(self):
+        assert wire_bytes(1000, fp16=False) == 4000
+
+    def test_fp16(self):
+        assert wire_bytes(1000, fp16=True) == 2000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            wire_bytes(-1, fp16=False)

@@ -1,0 +1,100 @@
+"""Unit tests for convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    ExponentialFit,
+    epochs_to_target,
+    fit_exponential,
+    speedup_at_target,
+    time_to_target,
+)
+
+
+class TestEpochsToTarget:
+    def test_exact_epoch(self):
+        assert epochs_to_target([1.0, 0.8, 0.6], 0.8) == pytest.approx(2.0)
+
+    def test_interpolation(self):
+        # crosses 0.7 halfway between epochs 2 and 3
+        assert epochs_to_target([1.0, 0.8, 0.6], 0.7) == pytest.approx(2.5)
+
+    def test_immediate(self):
+        assert epochs_to_target([0.5, 0.4], 0.9) == 1.0
+
+    def test_never_reached(self):
+        assert epochs_to_target([1.0, 0.9], 0.1) == float("inf")
+
+    def test_flat_segment(self):
+        assert epochs_to_target([1.0, 0.8, 0.8], 0.8) == pytest.approx(2.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            epochs_to_target([], 0.5)
+
+
+class TestTimeAndSpeedup:
+    def test_time_scales(self):
+        assert time_to_target([1.0, 0.8], 2.0, 0.8) == pytest.approx(4.0)
+
+    def test_time_validation(self):
+        with pytest.raises(ValueError):
+            time_to_target([1.0], 0.0, 0.5)
+
+    def test_speedup_identical_curves(self):
+        curve = [1.0, 0.8, 0.7]
+        # same curve, B's epochs twice as long -> A is 2x faster
+        assert speedup_at_target(curve, 1.0, curve, 2.0) == pytest.approx(2.0)
+
+    def test_speedup_default_target(self):
+        a = [1.0, 0.7, 0.5]
+        b = [1.0, 0.9, 0.8]
+        s = speedup_at_target(a, 1.0, b, 1.0)  # target = max(0.5, 0.8) = 0.8
+        assert s > 1.0  # A reaches 0.8 sooner
+
+    def test_speedup_unreachable(self):
+        with pytest.raises(ValueError):
+            speedup_at_target([1.0, 0.9], 1.0, [1.0, 0.95], 1.0, target=0.1)
+
+
+class TestExponentialFit:
+    def test_recovers_known_parameters(self):
+        epochs = np.arange(1, 21)
+        truth = 0.6 + 0.5 * np.exp(-(epochs - 1) / 4.0)
+        fit = fit_exponential(truth)
+        assert fit.floor == pytest.approx(0.6, abs=0.03)
+        assert fit.tau == pytest.approx(4.0, rel=0.15)
+        assert fit.residual < 0.01
+
+    def test_predict_matches_curve(self):
+        epochs = np.arange(1, 15)
+        truth = 0.9 + 0.3 * np.exp(-(epochs - 1) / 3.0)
+        fit = fit_exponential(truth)
+        for e in (1, 5, 10):
+            assert fit.predict(e) == pytest.approx(truth[e - 1], abs=0.02)
+
+    def test_epochs_to_within(self):
+        fit = ExponentialFit(floor=0.5, amplitude=0.4, tau=3.0, residual=0.0)
+        e = fit.epochs_to_within(0.04)
+        # 0.4*exp(-(e-1)/3) = 0.04 -> e = 1 + 3 ln 10
+        assert e == pytest.approx(1 + 3 * np.log(10), rel=1e-6)
+        with pytest.raises(ValueError):
+            fit.epochs_to_within(0.0)
+
+    def test_fits_real_training_curve(self, small_ratings):
+        from repro.mf.sgd import HogwildSGD
+
+        h = HogwildSGD(k=8, lr=0.01, seed=0)
+        h.fit(small_ratings, epochs=12)
+        fit = fit_exponential(h.history.rmse)
+        assert fit.floor < h.history.rmse[-1]
+        assert fit.residual < 0.05
+
+    def test_short_curve_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0, 0.9])
+
+    def test_non_decreasing_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0, 1.1, 1.2, 1.3])

@@ -1,0 +1,172 @@
+"""Unit tests for the time-cost model (Eq. 1-5)."""
+
+import pytest
+
+from repro.core.config import (
+    CommBackendKind,
+    CommConfig,
+    HCCConfig,
+    PartitionStrategy,
+    TransmitMode,
+)
+from repro.core.cost_model import Regime, TimeCostModel
+from repro.data.datasets import MOVIELENS_20M, NETFLIX, YAHOO_R1
+from repro.hardware.topology import paper_workstation
+
+
+@pytest.fixture
+def model():
+    return TimeCostModel(paper_workstation(16), NETFLIX, k=128)
+
+
+@pytest.fixture
+def fractions(model):
+    return model.derive_partition(PartitionStrategy.DP1).fractions
+
+
+class TestPrimitives:
+    def test_independent_time_matches_table4(self, model):
+        gpu = [w for w in model.platform.workers if w.name == "2080S#gpu0"][0]
+        t = model.independent_time(gpu)
+        assert t == pytest.approx(NETFLIX.nnz / 1_052_866_849, rel=1e-6)
+
+    def test_compute_time_linear_in_fraction(self, model):
+        w = model.platform.workers[1]
+        t_half = model.compute_time(w, 0.5)
+        t_quarter = model.compute_time(w, 0.25)
+        assert t_half == pytest.approx(2 * t_quarter, rel=0.05)
+
+    def test_compute_time_zero(self, model):
+        assert model.compute_time(model.platform.workers[0], 0.0) == 0.0
+
+    def test_compute_time_range_checked(self, model):
+        with pytest.raises(ValueError):
+            model.compute_time(model.platform.workers[0], 1.5)
+
+    def test_pull_equals_push(self, model):
+        """Eq. 2's premise: pull and push cost the same."""
+        for w in model.platform.workers:
+            assert model.pull_time(w) == pytest.approx(model.push_time(w))
+
+    def test_sync_time_eq3(self, model):
+        """T_sync per worker = 3 * 4 bytes * k * n / B_server (Q-only)."""
+        expected = 3 * 4 * 128 * NETFLIX.n / (67.30 * 1e9)
+        assert model.sync_time() == pytest.approx(expected, rel=1e-3)
+
+    def test_sync_larger_under_pq(self):
+        q = TimeCostModel(paper_workstation(16), NETFLIX, 128, CommConfig())
+        pq = TimeCostModel(
+            paper_workstation(16), NETFLIX, 128,
+            CommConfig(transmit=TransmitMode.P_AND_Q),
+        )
+        assert pq.sync_time() > q.sync_time()
+
+
+class TestEpochCost:
+    def test_total_is_max_plus_exposed(self, model, fractions):
+        cost = model.epoch_cost(fractions)
+        assert cost.total == pytest.approx(cost.max_worker_time + cost.exposed_sync)
+
+    def test_worker_count_checked(self, model):
+        with pytest.raises(ValueError):
+            model.epoch_cost([0.5, 0.5])
+
+    def test_serial_time_decomposition(self, model, fractions):
+        cost = model.epoch_cost(fractions, streams=1)
+        for wc in cost.workers:
+            assert wc.epoch_time == pytest.approx(wc.serial_time)
+            assert wc.serial_time == pytest.approx(wc.pull + wc.compute + wc.push)
+
+    def test_streams_shrink_epoch(self):
+        m = TimeCostModel(paper_workstation(16), YAHOO_R1, k=128)
+        fr = m.derive_partition(PartitionStrategy.DP1).fractions
+        t1 = m.epoch_cost(fr, streams=1).total
+        t4 = m.epoch_cost(fr, streams=4).total
+        assert t4 < t1
+
+    def test_spans_cover_phases(self, model, fractions):
+        cost = model.epoch_cost(fractions)
+        spans = cost.spans()
+        assert len(spans) == 3 * len(cost.workers)  # pull, compute, push each
+
+    def test_netflix_is_compute_bound(self, model, fractions):
+        assert model.epoch_cost(fractions).regime is Regime.COMPUTE_BOUND
+
+    def test_r1_is_sync_bound(self):
+        m = TimeCostModel(paper_workstation(16), YAHOO_R1, k=128)
+        fr = m.derive_partition(PartitionStrategy.DP1).fractions
+        assert m.epoch_cost(fr).regime is Regime.SYNC_BOUND
+
+
+class TestCommComputeRatio:
+    def test_movielens_flagged(self):
+        """Section 3.4/4.6: MovieLens' comm rivals its compute."""
+        m = TimeCostModel(paper_workstation(16), MOVIELENS_20M, k=128)
+        w = m.platform.workers[-1]  # a GPU
+        assert m.comm_compute_ratio(w, 0.4) > 0.2
+
+    def test_netflix_negligible(self, model):
+        gpu = model.platform.workers[-1]
+        assert model.comm_compute_ratio(gpu, 0.4) < 0.1
+
+    def test_zero_fraction_infinite(self, model):
+        assert model.comm_compute_ratio(model.platform.workers[0], 0.0) == float("inf")
+
+
+class TestDerivePartition:
+    def test_even(self, model):
+        plan = model.derive_partition(PartitionStrategy.EVEN)
+        assert plan.strategy == "even"
+        assert len(set(plan.fractions)) == 1
+
+    def test_dp0_reports_runtime_imbalance(self, model):
+        plan = model.derive_partition(PartitionStrategy.DP0)
+        assert plan.imbalance() > 0.05  # the co-run bias DP1 fixes
+
+    def test_dp1_balances(self, model):
+        plan = model.derive_partition(PartitionStrategy.DP1)
+        assert plan.imbalance() <= 0.1 + 1e-9
+
+    def test_dp1_beats_dp0(self, model):
+        t0 = model.epoch_cost(model.derive_partition(PartitionStrategy.DP0).fractions).total
+        t1 = model.epoch_cost(model.derive_partition(PartitionStrategy.DP1).fractions).total
+        assert t1 < t0
+
+    def test_auto_picks_dp1_on_netflix(self, model):
+        assert model.derive_partition(PartitionStrategy.AUTO).strategy == "dp1"
+
+    def test_auto_picks_dp2_on_r1(self):
+        m = TimeCostModel(paper_workstation(16), YAHOO_R1, k=128)
+        assert m.derive_partition(PartitionStrategy.AUTO).strategy == "dp2"
+
+    def test_dp2_on_r1_beats_dp1(self):
+        m = TimeCostModel(paper_workstation(16), YAHOO_R1, k=128)
+        t1 = m.epoch_cost(m.derive_partition(PartitionStrategy.DP1).fractions).total
+        t2 = m.epoch_cost(m.derive_partition(PartitionStrategy.DP2).fractions).total
+        assert t2 < t1
+
+    def test_gpus_get_most_data(self, model):
+        plan = model.derive_partition(PartitionStrategy.DP1)
+        by_name = dict(zip([w.name for w in model.platform.workers], plan.fractions))
+        assert by_name["2080S#gpu0"] > by_name["6242-24T#cpu1"]
+        assert by_name["2080#gpu1"] > by_name["6242#cpu0w"]
+
+
+class TestBackendEffect:
+    def test_comm_p_inflates_epoch(self):
+        fast = TimeCostModel(paper_workstation(16), NETFLIX, 128,
+                             CommConfig(backend=CommBackendKind.COMM))
+        slow = TimeCostModel(paper_workstation(16), NETFLIX, 128,
+                             CommConfig(backend=CommBackendKind.COMM_P))
+        fr = fast.derive_partition(PartitionStrategy.DP1).fractions
+        assert slow.epoch_cost(fr).total > fast.epoch_cost(fr).total
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            TimeCostModel(paper_workstation(16), NETFLIX, k=0)
+
+    def test_bad_lambda(self):
+        with pytest.raises(ValueError):
+            TimeCostModel(paper_workstation(16), NETFLIX, lambda_threshold=0)

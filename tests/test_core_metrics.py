@@ -1,0 +1,65 @@
+"""Unit tests for computing-power metrics (Eq. 8)."""
+
+import pytest
+
+from repro.core.metrics import (
+    computing_power,
+    ideal_computing_power,
+    speedup,
+    utilization,
+)
+from repro.data.datasets import NETFLIX, YAHOO_R2
+from repro.hardware.topology import paper_workstation
+
+
+class TestComputingPower:
+    def test_eq8(self):
+        assert computing_power(1000, 20, 2.0) == pytest.approx(10_000)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            computing_power(0, 20, 1.0)
+        with pytest.raises(ValueError):
+            computing_power(10, 0, 1.0)
+        with pytest.raises(ValueError):
+            computing_power(10, 20, 0.0)
+
+
+class TestIdealPower:
+    def test_netflix_matches_table4_ideal(self):
+        """Table 4's "Ideal" column for Netflix: 2,592,493,089 updates/s."""
+        plat = paper_workstation(16)
+        ideal = ideal_computing_power(plat, NETFLIX, k=128)
+        assert ideal == pytest.approx(2_592_493_089, rel=0.005)
+
+    def test_r2_matches_table4_ideal(self):
+        plat = paper_workstation(16)
+        ideal = ideal_computing_power(plat, YAHOO_R2, k=128)
+        assert ideal == pytest.approx(1_172_502_951, rel=0.005)
+
+    def test_time_shared_worker_counted_at_full_duty(self):
+        plat = paper_workstation(16, special_worker_share=0.5)
+        plat_full = paper_workstation(16, special_worker_share=0.99)
+        a = ideal_computing_power(plat, NETFLIX)
+        b = ideal_computing_power(plat_full, NETFLIX)
+        assert a == pytest.approx(b, rel=1e-6)
+
+
+class TestUtilizationAndSpeedup:
+    def test_utilization(self):
+        assert utilization(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_utilization_validation(self):
+        with pytest.raises(ValueError):
+            utilization(1.0, 0.0)
+        with pytest.raises(ValueError):
+            utilization(-1.0, 10.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)

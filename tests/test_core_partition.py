@@ -1,0 +1,210 @@
+"""Unit tests for DP0 / DP1 / DP2 and the sync queue."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import (
+    PartitionPlan,
+    dp0,
+    dp1,
+    dp2,
+    even_partition,
+    exposed_sync_time,
+)
+
+
+class TestPartitionPlan:
+    def test_valid(self):
+        p = PartitionPlan("x", (0.25, 0.75))
+        assert p.n_workers == 2
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            PartitionPlan("x", (0.5, 0.4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            PartitionPlan("x", (-0.1, 1.1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            PartitionPlan("x", ())
+
+    def test_imbalance(self):
+        p = PartitionPlan("x", (0.5, 0.5), predicted_times=(1.0, 1.5))
+        assert p.imbalance() == pytest.approx(0.5)
+
+    def test_imbalance_without_times(self):
+        assert PartitionPlan("x", (1.0,)).imbalance() == 0.0
+
+
+class TestEven:
+    def test_uniform(self):
+        p = even_partition(4)
+        assert p.fractions == (0.25, 0.25, 0.25, 0.25)
+        assert p.strategy == "even"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            even_partition(0)
+
+
+class TestDP0:
+    def test_eq6_formula(self):
+        """x_i = (1/T_i) / sum(1/T_j): a 2x faster worker gets 2x data."""
+        p = dp0([1.0, 2.0, 4.0])
+        assert p.fractions[0] == pytest.approx(4 / 7)
+        assert p.fractions[1] == pytest.approx(2 / 7)
+        assert p.fractions[2] == pytest.approx(1 / 7)
+
+    def test_predicted_times_equal(self):
+        """Theorem 1: under the measured rates, all workers finish together."""
+        p = dp0([3.0, 5.0, 7.0, 11.0])
+        assert max(p.predicted_times) == pytest.approx(min(p.predicted_times))
+
+    def test_homogeneous(self):
+        p = dp0([2.0, 2.0])
+        assert p.fractions == (0.5, 0.5)
+
+    def test_invalid_times(self):
+        with pytest.raises(ValueError):
+            dp0([1.0, 0.0])
+        with pytest.raises(ValueError):
+            dp0([])
+
+
+class TestDP1:
+    def _measure_with_bias(self, true_rates):
+        """Measurement model: time_i = x_i / rate_i."""
+
+        def measure(x):
+            return [xi / r for xi, r in zip(x, true_rates)]
+
+        return measure
+
+    def test_corrects_runtime_bias(self):
+        """DP0 was computed from wrong (independent) rates; DP1 must
+        rebalance against the true runtime rates."""
+        independent = [1.0, 1.0, 0.5, 0.5]  # times: cpu, cpu, gpu, gpu
+        start = dp0(independent)
+        # at runtime the CPUs are 20% slower than measured
+        true_rates = [0.8, 0.8, 2.0, 2.0]
+        plan = dp1(start, self._measure_with_bias(true_rates),
+                   is_gpu=[False, False, True, True])
+        times = np.asarray(plan.predicted_times)
+        cpu_avg = times[:2].mean()
+        gpu_avg = times[2:].mean()
+        assert abs(cpu_avg - gpu_avg) / min(cpu_avg, gpu_avg) <= 0.1
+
+    def test_terminates_within_rounds(self):
+        start = dp0([1.0, 0.5])
+        plan = dp1(start, self._measure_with_bias([0.5, 2.0]),
+                   is_gpu=[False, True], max_rounds=8)
+        assert plan.rounds <= 8
+
+    def test_noop_when_already_balanced(self):
+        start = dp0([1.0, 0.5])
+        plan = dp1(start, self._measure_with_bias([1.0, 2.0]),
+                   is_gpu=[False, True])
+        assert plan.rounds == 0
+        np.testing.assert_allclose(plan.fractions, start.fractions)
+
+    def test_homogeneous_class_short_circuits(self):
+        start = dp0([1.0, 1.0])
+        plan = dp1(start, self._measure_with_bias([1.0, 1.0]),
+                   is_gpu=[True, True])
+        assert plan.rounds == 0
+
+    def test_fractions_stay_simplex(self):
+        start = dp0([1.0, 0.4, 0.2])
+        plan = dp1(start, self._measure_with_bias([0.6, 2.0, 5.0]),
+                   is_gpu=[False, True, True])
+        fr = np.asarray(plan.fractions)
+        assert fr.sum() == pytest.approx(1.0)
+        assert np.all(fr >= 0)
+
+    def test_mask_length_checked(self):
+        with pytest.raises(ValueError):
+            dp1(dp0([1.0, 1.0]), lambda x: x, is_gpu=[True])
+
+    def test_measure_length_checked(self):
+        with pytest.raises(ValueError):
+            dp1(dp0([1.0, 1.0]), lambda x: [1.0], is_gpu=[True, False])
+
+
+class TestDP2:
+    def test_staggers_times_by_sync(self):
+        base = PartitionPlan("dp1", (0.25,) * 4, predicted_times=(1.0, 1.0, 1.0, 1.0))
+        plan = dp2(base, sync_time=0.1)
+        times = sorted(plan.predicted_times)
+        gaps = np.diff(times)
+        # Eq. 7: consecutive finishes separated by ~T_sync (before renorm)
+        assert np.allclose(gaps, gaps[0], rtol=0.05)
+        assert gaps[0] == pytest.approx(0.1, rel=0.15)
+
+    def test_zero_sync_is_noop(self):
+        base = PartitionPlan("dp1", (0.5, 0.5), predicted_times=(1.0, 1.0))
+        plan = dp2(base, sync_time=0.0)
+        np.testing.assert_allclose(plan.fractions, base.fractions)
+
+    def test_median_preserved_for_odd_count(self):
+        base = PartitionPlan("dp1", (1 / 3,) * 3, predicted_times=(1.0, 1.0, 1.0))
+        plan = dp2(base, sync_time=0.2)
+        assert sorted(plan.predicted_times)[1] == pytest.approx(1.0, rel=0.1)
+
+    def test_custom_order(self):
+        base = PartitionPlan("dp1", (0.5, 0.5), predicted_times=(1.0, 1.0))
+        plan = dp2(base, sync_time=0.2, order=[1, 0])
+        # worker 1 ranked first -> finishes earlier than worker 0
+        assert plan.predicted_times[1] < plan.predicted_times[0]
+
+    def test_bad_order_rejected(self):
+        base = PartitionPlan("dp1", (0.5, 0.5), predicted_times=(1.0, 1.0))
+        with pytest.raises(ValueError, match="permutation"):
+            dp2(base, 0.1, order=[0, 0])
+
+    def test_requires_predicted_times(self):
+        with pytest.raises(ValueError, match="predicted times"):
+            dp2(PartitionPlan("dp1", (1.0,)), 0.1)
+
+    def test_reduces_exposed_sync(self):
+        """The whole point of DP2: staggered finishes pipeline the server's
+        merges, shrinking the exposed sync tail."""
+        tsync = 0.1
+        base = PartitionPlan("dp1", (0.25,) * 4, predicted_times=(1.0,) * 4)
+        plan = dp2(base, tsync)
+        exposed_dp1 = exposed_sync_time(base.predicted_times, tsync)
+        exposed_dp2 = exposed_sync_time(plan.predicted_times, tsync)
+        assert exposed_dp2 < exposed_dp1
+
+
+class TestExposedSync:
+    def test_simultaneous_finishes_serialize(self):
+        assert exposed_sync_time([1.0, 1.0, 1.0], 0.1) == pytest.approx(0.3)
+
+    def test_perfectly_staggered_exposes_one(self):
+        assert exposed_sync_time([1.0, 1.1, 1.2], 0.1) == pytest.approx(0.1)
+
+    def test_wide_stagger_exposes_one(self):
+        assert exposed_sync_time([1.0, 2.0, 3.0], 0.1) == pytest.approx(0.1)
+
+    def test_empty(self):
+        assert exposed_sync_time([], 0.1) == 0.0
+
+    def test_zero_sync(self):
+        assert exposed_sync_time([1.0, 2.0], 0.0) == 0.0
+
+    def test_per_push_durations(self):
+        # chunked pushes with tsync/4 each, arriving staggered: only the
+        # last chunk's merge is exposed
+        finishes = [1.0, 1.1, 1.2, 1.3]
+        exposed = exposed_sync_time(finishes, [0.025] * 4)
+        assert exposed == pytest.approx(0.025)
+
+    def test_duration_length_checked(self):
+        with pytest.raises(ValueError, match="one sync duration"):
+            exposed_sync_time([1.0, 2.0], [0.1])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            exposed_sync_time([1.0], [-0.1])

@@ -1,0 +1,91 @@
+"""Unit tests for the parameter server's sync semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.server import ParameterServer
+from repro.mf.model import MFModel
+
+
+@pytest.fixture
+def server():
+    model = MFModel.init(6, 8, 4, seed=0)
+    return ParameterServer(model, n_workers=2)
+
+
+class TestLifecycle:
+    def test_pull_requires_epoch(self, server):
+        with pytest.raises(RuntimeError, match="begin_epoch"):
+            server.pull()
+
+    def test_push_requires_epoch(self, server):
+        with pytest.raises(RuntimeError, match="begin_epoch"):
+            server.push_and_sync(0, server.model.Q.copy(), 0.5)
+
+    def test_begin_epoch_publishes_snapshot(self, server):
+        server.begin_epoch()
+        np.testing.assert_array_equal(server.pull(), server.model.Q)
+        np.testing.assert_array_equal(server.q_base, server.model.Q)
+
+    def test_epoch_counter(self, server):
+        server.begin_epoch()
+        server.begin_epoch()
+        assert server.epochs_started == 2
+
+
+class TestSync:
+    def test_weighted_delta_merge(self, server):
+        server.begin_epoch()
+        base = server.model.Q.copy()
+        delta = np.ones_like(base)
+        server.push_and_sync(0, base + delta, weight=0.25)
+        np.testing.assert_allclose(server.model.Q, base + 0.25, rtol=1e-6)
+
+    def test_two_workers_merge_additively(self, server):
+        server.begin_epoch()
+        base = server.model.Q.copy()
+        server.push_and_sync(0, base + 1.0, weight=0.5)
+        server.push_and_sync(1, base + 3.0, weight=0.5)
+        # deltas are both measured against the epoch base
+        np.testing.assert_allclose(server.model.Q, base + 0.5 + 1.5, rtol=1e-5)
+
+    def test_unchanged_push_is_noop(self, server):
+        server.begin_epoch()
+        base = server.model.Q.copy()
+        server.push_and_sync(0, base.copy(), weight=1.0)
+        np.testing.assert_allclose(server.model.Q, base, atol=1e-6)
+
+    def test_sync_count(self, server):
+        server.begin_epoch()
+        base = server.model.Q.copy()
+        server.push_and_sync(0, base, 0.5)
+        server.push_and_sync(1, base, 0.5)
+        assert server.sync_count == 2
+
+    def test_weight_bounds(self, server):
+        server.begin_epoch()
+        with pytest.raises(ValueError):
+            server.push_and_sync(0, server.model.Q.copy(), 1.5)
+
+    def test_worker_id_bounds(self, server):
+        server.begin_epoch()
+        with pytest.raises(IndexError):
+            server.push_and_sync(5, server.model.Q.copy(), 0.5)
+
+    def test_fp16_wire_roundtrip(self):
+        model = MFModel.init(4, 4, 2, seed=1)
+        server = ParameterServer(model, n_workers=1, fp16_wire=True)
+        server.begin_epoch()
+        pulled = server.pull()
+        # FP16 wire: small relative error against the true Q
+        np.testing.assert_allclose(pulled, model.Q, rtol=1e-3)
+        server.push_and_sync(0, pulled + 0.5, weight=1.0)
+        np.testing.assert_allclose(model.Q, pulled + 0.5, rtol=2e-3, atol=2e-3)
+
+    def test_needs_workers(self):
+        with pytest.raises(ValueError):
+            ParameterServer(MFModel.init(2, 2, 2), n_workers=0)
+
+    def test_q_base_guard(self, server):
+        with pytest.raises(RuntimeError):
+            server.q_base

@@ -1,0 +1,84 @@
+"""Tests for the Theorem 1 numerical verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theorem import (
+    Theorem1Report,
+    equalizing_partition,
+    makespan,
+    verify_theorem1,
+)
+
+
+class TestEqualizingPartition:
+    def test_zero_fixed_costs_reduce_to_dp0(self):
+        """With b = 0, Theorem 1's solution is Eq. 6's throughput split."""
+        a = [1.0, 2.0, 4.0]
+        x = equalizing_partition(a, [0, 0, 0])
+        np.testing.assert_allclose(x, [4 / 7, 2 / 7, 1 / 7])
+
+    def test_levels_equalized(self):
+        a = [1.0, 3.0, 0.5]
+        b = [0.05, 0.01, 0.02]
+        x = equalizing_partition(a, b)
+        levels = np.asarray(a) * x + np.asarray(b)
+        np.testing.assert_allclose(levels, levels[0])
+
+    def test_simplex(self):
+        x = equalizing_partition([2.0, 5.0], [0.1, 0.3])
+        assert x.sum() == pytest.approx(1.0)
+        assert np.all(x >= 0)
+
+    def test_higher_fixed_cost_gets_less_data(self):
+        x = equalizing_partition([1.0, 1.0], [0.0, 0.4])
+        assert x[1] < x[0]
+
+    def test_infeasible_detected(self):
+        # worker 1's fixed cost alone dwarfs any achievable common level
+        with pytest.raises(ValueError, match="non-negative shares"):
+            equalizing_partition([1.0, 1.0], [0.0, 100.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equalizing_partition([], [])
+        with pytest.raises(ValueError):
+            equalizing_partition([0.0], [0.0])
+        with pytest.raises(ValueError):
+            equalizing_partition([1.0, 2.0], [0.0])
+
+
+class TestVerify:
+    def test_holds_on_paper_like_costs(self):
+        # a_i ~ independent times of the testbed, b_i ~ comm times
+        report = verify_theorem1(
+            a=[0.36, 0.28, 0.094, 0.108],   # seconds per full dataset
+            b=[0.001, 0.002, 0.012, 0.012],  # pull+push
+            trials=1500,
+            seed=1,
+        )
+        assert isinstance(report, Theorem1Report)
+        assert report.holds
+        assert report.best_perturbed_makespan >= report.optimal_makespan - 1e-9
+
+    def test_makespan_formula(self):
+        assert makespan([2.0, 1.0], [0.1, 0.3], [0.5, 0.5]) == pytest.approx(1.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            verify_theorem1([1.0], [0.0], trials=0)
+        with pytest.raises(ValueError):
+            verify_theorem1([1.0], [0.0], scale=1.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=6),
+        seed=st.integers(0, 100),
+    )
+    def test_theorem_holds_property(self, a, seed):
+        """Random per-unit costs with zero fixed costs: the equalizer is
+        never beaten by random simplex points."""
+        report = verify_theorem1(a, [0.0] * len(a), trials=300, seed=seed)
+        assert report.holds

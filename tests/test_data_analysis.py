@@ -1,0 +1,106 @@
+"""Unit tests for dataset structure analysis."""
+
+import numpy as np
+import pytest
+
+from repro.data.analysis import (
+    DatasetProfile,
+    conflict_probability,
+    gini,
+    profile,
+    profile_spec,
+    render_profile,
+)
+from repro.data.datasets import MOVIELENS_20M, NETFLIX
+from repro.data.ratings import RatingMatrix
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        counts = np.zeros(1000)
+        counts[0] = 1e6
+        assert gini(counts) > 0.99
+
+    def test_monotone_in_skew(self, rng):
+        flat = rng.poisson(50, 500)
+        skewed = (rng.pareto(1.2, 500) * 10).astype(int) + 1
+        assert gini(skewed) > gini(flat)
+
+    def test_bounds(self, rng):
+        for _ in range(5):
+            counts = rng.integers(0, 100, 50)
+            assert 0.0 <= gini(counts) <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini(np.array([]))
+
+    def test_all_zero(self):
+        assert gini(np.zeros(5)) == 0.0
+
+
+class TestConflictProbability:
+    def test_zero_for_single_update(self, tiny_ratings):
+        assert conflict_probability(tiny_ratings, 1) == 0.0
+
+    def test_increases_with_batch(self, small_ratings):
+        p_small = conflict_probability(small_ratings, 8)
+        p_big = conflict_probability(small_ratings, 512)
+        assert p_big > p_small
+
+    def test_saturates_at_one(self, small_ratings):
+        assert conflict_probability(small_ratings, 100_000) == pytest.approx(1.0)
+
+    def test_wide_catalog_fewer_conflicts(self):
+        rng = np.random.default_rng(0)
+        narrow = RatingMatrix(100, 5, rng.integers(0, 100, 400),
+                              rng.integers(0, 5, 400), np.ones(400, np.float32))
+        wide = RatingMatrix(100, 5000, rng.integers(0, 100, 400),
+                            rng.integers(0, 5000, 400), np.ones(400, np.float32))
+        assert conflict_probability(wide, 64) < conflict_probability(narrow, 64)
+
+
+class TestProfile:
+    def test_fields(self, small_ratings):
+        p = profile(small_ratings)
+        assert isinstance(p, DatasetProfile)
+        assert p.nnz == small_ratings.nnz
+        assert p.reuse_ratio == pytest.approx(small_ratings.reuse_ratio)
+        assert 0 <= p.row_gini <= 1
+        assert 0 <= p.conflict_prob_4k <= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile(RatingMatrix(3, 3, [], [], []))
+
+    def test_recommendations_row_grid(self, small_ratings):
+        p = profile(small_ratings)
+        recs = " ".join(p.recommended_strategies())
+        assert "row grid" in recs
+        assert "FP16" in recs
+
+    def test_recommendations_column_grid(self):
+        wide = RatingMatrix(5, 50, [0, 1, 2], [10, 20, 30], [1.0, 2.0, 3.0])
+        p = profile(wide)
+        assert any("transposition" in r for r in p.recommended_strategies())
+
+    def test_render(self, small_ratings):
+        text = render_profile(profile(small_ratings))
+        assert "reuse" in text
+        assert "Gini" in text
+        assert "recommended" in text
+
+
+class TestProfileSpec:
+    def test_full_scale_values(self):
+        p = profile_spec(NETFLIX)
+        assert p["nnz"] == NETFLIX.nnz
+        # Netflix escapes the bound after Q-only: nnz/min(m,n) ~ 5.6e3
+        assert not p["comm_bound"]
+        assert p["q_only_reuse"] > 5000
+
+    def test_movielens_flagged(self):
+        assert profile_spec(MOVIELENS_20M)["comm_bound"]

@@ -1,0 +1,118 @@
+"""Unit tests for the Table 3 dataset registry."""
+
+import pytest
+
+from repro.data.datasets import (
+    DATASETS,
+    DatasetSpec,
+    MOVIELENS_20M,
+    NETFLIX,
+    R1_STAR,
+    YAHOO_R1,
+    YAHOO_R2,
+    get_dataset,
+)
+
+
+class TestTable3Values:
+    """The registry must carry the paper's exact Table 3 statistics."""
+
+    def test_netflix(self):
+        assert (NETFLIX.m, NETFLIX.n, NETFLIX.nnz) == (480_190, 17_771, 99_072_112)
+        assert NETFLIX.reg == 0.01
+
+    def test_r1(self):
+        assert (YAHOO_R1.m, YAHOO_R1.n, YAHOO_R1.nnz) == (1_948_883, 1_101_750, 115_579_437)
+        assert YAHOO_R1.reg == 1.0
+
+    def test_r1_star(self):
+        assert R1_STAR.nnz == 199_999_997
+        assert (R1_STAR.m, R1_STAR.n) == (YAHOO_R1.m, YAHOO_R1.n)
+
+    def test_r2(self):
+        assert (YAHOO_R2.m, YAHOO_R2.n, YAHOO_R2.nnz) == (1_000_000, 136_736, 383_838_609)
+
+    def test_movielens(self):
+        assert (MOVIELENS_20M.m, MOVIELENS_20M.n, MOVIELENS_20M.nnz) == (
+            138_494, 131_263, 20_000_260,
+        )
+
+    def test_learning_rate(self):
+        for spec in DATASETS.values():
+            assert spec.learning_rate == 0.005  # gamma in Table 3's caption
+
+    def test_all_row_dominant(self):
+        # every Table 3 dataset has m > n, so the row grid + Q-only apply
+        for spec in DATASETS.values():
+            assert spec.rows_dominate
+
+
+class TestDerivedProperties:
+    def test_reuse_ratio_ordering(self):
+        # section 3.4: R1 and MovieLens have low reuse, Netflix the highest
+        assert YAHOO_R1.reuse_ratio < MOVIELENS_20M.reuse_ratio < NETFLIX.reuse_ratio
+
+    def test_movielens_below_comm_bound(self):
+        # the paper's nnz/(m+n) < 1e3 criterion flags MovieLens
+        assert MOVIELENS_20M.reuse_ratio < 1e3
+
+    def test_density(self):
+        assert NETFLIX.density == pytest.approx(
+            99_072_112 / (480_190 * 17_771)
+        )
+
+
+class TestScaling:
+    def test_scaled_preserves_density(self):
+        small = NETFLIX.scaled(50_000)
+        assert small.density == pytest.approx(NETFLIX.density, rel=0.15)
+
+    def test_scaled_caps_nnz(self):
+        small = NETFLIX.scaled(50_000)
+        assert small.nnz <= 50_000
+
+    def test_scaled_noop_when_bigger(self):
+        assert NETFLIX.scaled(NETFLIX.nnz * 2) is NETFLIX
+
+    def test_scaled_name_tagged(self):
+        assert NETFLIX.scaled(1000).name == "Netflix@1000"
+
+    def test_scaled_keeps_hyperparams(self):
+        small = YAHOO_R1.scaled(10_000)
+        assert small.reg == YAHOO_R1.reg
+        assert small.rating_max == 100.0
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            NETFLIX.scaled(0)
+
+
+class TestGeneration:
+    def test_generate_matches_spec(self):
+        small = NETFLIX.scaled(5000)
+        r = small.generate(seed=0)
+        assert r.shape == (small.m, small.n)
+        assert r.nnz == small.nnz
+
+    def test_generate_respects_scale(self):
+        small = YAHOO_R1.scaled(5000)
+        r = small.generate(seed=0)
+        assert r.vals.max() <= 100.0
+        assert r.vals.min() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="bad", m=0, n=5, nnz=3)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="bad", m=2, n=2, nnz=5)
+
+
+class TestLookup:
+    def test_get_by_name(self):
+        assert get_dataset("Netflix") is NETFLIX
+        assert get_dataset("netflix") is NETFLIX
+        assert get_dataset("R1*") is R1_STAR
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("imaginary")

@@ -1,0 +1,108 @@
+"""Unit tests for rating-matrix file IO."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    load_movielens_csv,
+    load_npz,
+    load_text,
+    save_npz,
+    save_text,
+)
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tiny_ratings, tmp_path):
+        path = tmp_path / "ratings.txt"
+        save_text(tiny_ratings, path)
+        back = load_text(path)
+        assert back.shape == tiny_ratings.shape
+        np.testing.assert_array_equal(back.to_dense(), tiny_ratings.to_dense())
+
+    def test_shape_header_respected(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("# 10 20\n0 0 3.5\n")
+        r = load_text(path)
+        assert r.shape == (10, 20)
+
+    def test_shape_inferred_without_header(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("2 5 1.0\n7 3 2.0\n")
+        r = load_text(path)
+        assert r.shape == (8, 6)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("\n0 0 1.0\n\n1 1 2.0\n")
+        assert load_text(path).nnz == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("0 0\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_text(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("# 3 3\n")
+        with pytest.raises(ValueError, match="no rating"):
+            load_text(path)
+
+
+class TestMovieLensCSV:
+    def test_densifies_sparse_ids(self, tmp_path):
+        path = tmp_path / "ml.csv"
+        path.write_text(
+            "userId,movieId,rating,timestamp\n"
+            "100,900,4.0,111\n"
+            "100,905,3.5,112\n"
+            "205,900,5.0,113\n"
+        )
+        r, user_map, item_map = load_movielens_csv(path)
+        assert r.shape == (2, 2)
+        assert r.nnz == 3
+        assert user_map == {100: 0, 205: 1}
+        assert item_map == {900: 0, 905: 1}
+        assert r.to_dense()[user_map[205], item_map[900]] == 5.0
+
+    def test_headerless(self, tmp_path):
+        path = tmp_path / "ml.csv"
+        path.write_text("1,2,3.0\n2,2,4.0\n")
+        r, _, _ = load_movielens_csv(path)
+        assert r.nnz == 2
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "ml.dat"
+        path.write_text("1::2::3.0".replace("::", "\t") + "\n")
+        r, _, _ = load_movielens_csv(path, delimiter="\t")
+        assert r.nnz == 1
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "ml.csv"
+        path.write_text("1,2\n")
+        with pytest.raises(ValueError, match=">= 3 fields"):
+            load_movielens_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "ml.csv"
+        path.write_text("userId,movieId,rating\n")
+        with pytest.raises(ValueError, match="no ratings"):
+            load_movielens_csv(path)
+
+
+class TestNpz:
+    def test_exact_roundtrip(self, small_ratings, tmp_path):
+        path = tmp_path / "ratings.npz"
+        save_npz(small_ratings, path)
+        back = load_npz(path)
+        assert back.shape == small_ratings.shape
+        np.testing.assert_array_equal(back.rows, small_ratings.rows)
+        np.testing.assert_array_equal(back.cols, small_ratings.cols)
+        np.testing.assert_array_equal(back.vals, small_ratings.vals)
+
+    def test_suffix_added(self, tiny_ratings, tmp_path):
+        path = tmp_path / "r"
+        save_npz(tiny_ratings, path)  # numpy appends .npz
+        back = load_npz(tmp_path / "r")
+        assert back.nnz == tiny_ratings.nnz

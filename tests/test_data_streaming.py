@@ -1,0 +1,141 @@
+"""Unit tests for out-of-core rating-file processing."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import save_text
+from repro.data.streaming import (
+    StreamStats,
+    count_statistics,
+    external_shuffle,
+    stream_text_batches,
+)
+
+
+@pytest.fixture
+def text_file(small_ratings, tmp_path):
+    path = tmp_path / "ratings.txt"
+    save_text(small_ratings, path)
+    return path, small_ratings
+
+
+class TestStreamBatches:
+    def test_batches_cover_file(self, text_file):
+        path, ratings = text_file
+        chunks = list(stream_text_batches(path, batch_size=500))
+        assert sum(c.nnz for c in chunks) == ratings.nnz
+        assert all(c.nnz <= 500 for c in chunks)
+
+    def test_shape_from_header(self, text_file):
+        path, ratings = text_file
+        first = next(stream_text_batches(path, batch_size=100))
+        assert first.shape == ratings.shape
+
+    def test_explicit_shape_overrides(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("0 0 1.0\n1 1 2.0\n")
+        chunks = list(stream_text_batches(path, batch_size=10, m=5, n=5))
+        assert chunks[0].shape == (5, 5)
+
+    def test_missing_shape_rejected(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("0 0 1.0\n")
+        with pytest.raises(ValueError, match="shape"):
+            list(stream_text_batches(path, batch_size=10))
+
+    def test_content_preserved(self, text_file):
+        path, ratings = text_file
+        chunks = list(stream_text_batches(path, batch_size=700))
+        vals = np.concatenate([c.vals for c in chunks])
+        np.testing.assert_allclose(np.sort(vals), np.sort(ratings.vals), rtol=1e-5)
+
+    def test_bad_batch_size(self, text_file):
+        path, _ = text_file
+        with pytest.raises(ValueError):
+            list(stream_text_batches(path, batch_size=0))
+
+
+class TestCountStatistics:
+    def test_matches_in_memory(self, text_file):
+        path, ratings = text_file
+        stats = count_statistics(path)
+        assert isinstance(stats, StreamStats)
+        assert stats.nnz == ratings.nnz
+        assert stats.value_min == pytest.approx(float(ratings.vals.min()))
+        assert stats.value_max == pytest.approx(float(ratings.vals.max()))
+        assert stats.mean == pytest.approx(ratings.mean_rating(), rel=1e-5)
+
+    def test_inferred_shape_bounds(self, text_file):
+        path, ratings = text_file
+        stats = count_statistics(path)
+        # inferred from max indices: never exceeds the declared shape
+        assert stats.m <= ratings.m
+        assert stats.n <= ratings.n
+        assert stats.reuse_ratio > 0
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# 3 3\n")
+        with pytest.raises(ValueError, match="no rating"):
+            count_statistics(path)
+
+
+class TestExternalShuffle:
+    def test_line_multiset_preserved(self, text_file, tmp_path):
+        path, ratings = text_file
+        out = tmp_path / "shuffled.txt"
+        moved = external_shuffle(path, out, buckets=4, seed=3)
+        assert moved == ratings.nnz
+        src_lines = sorted(
+            l for l in path.read_text().splitlines() if not l.startswith("#")
+        )
+        dst_lines = sorted(
+            l for l in out.read_text().splitlines() if not l.startswith("#")
+        )
+        assert src_lines == dst_lines
+
+    def test_order_changes(self, text_file, tmp_path):
+        path, _ = text_file
+        out = tmp_path / "shuffled.txt"
+        external_shuffle(path, out, buckets=4, seed=3)
+        src = [l for l in path.read_text().splitlines() if not l.startswith("#")]
+        dst = [l for l in out.read_text().splitlines() if not l.startswith("#")]
+        assert src != dst
+
+    def test_header_kept(self, text_file, tmp_path):
+        path, ratings = text_file
+        out = tmp_path / "shuffled.txt"
+        external_shuffle(path, out, buckets=2, seed=0)
+        first = out.read_text().splitlines()[0]
+        assert first == f"# {ratings.m} {ratings.n}"
+
+    def test_temp_buckets_cleaned(self, text_file, tmp_path):
+        path, _ = text_file
+        external_shuffle(path, tmp_path / "s.txt", buckets=3, seed=0)
+        leftovers = list(tmp_path.glob(".shuffle-*"))
+        assert leftovers == []
+
+    def test_deterministic(self, text_file, tmp_path):
+        path, _ = text_file
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        external_shuffle(path, a, buckets=4, seed=9)
+        external_shuffle(path, b, buckets=4, seed=9)
+        assert a.read_text() == b.read_text()
+
+    def test_roundtrip_trains(self, text_file, tmp_path):
+        """Shuffled file loads and trains like the original."""
+        from repro.data.io import load_text
+        from repro.mf.sgd import HogwildSGD
+
+        path, _ = text_file
+        out = tmp_path / "s.txt"
+        external_shuffle(path, out, buckets=4, seed=1)
+        data = load_text(out)
+        h = HogwildSGD(k=8, lr=0.01, seed=0)
+        h.fit(data, epochs=3)
+        assert h.history.rmse[-1] < h.history.rmse[0]
+
+    def test_invalid_buckets(self, text_file, tmp_path):
+        path, _ = text_file
+        with pytest.raises(ValueError):
+            external_shuffle(path, tmp_path / "s.txt", buckets=0)

@@ -1,0 +1,59 @@
+"""Tests for the model-vs-closed-form crosschecks."""
+
+import pytest
+
+from repro.data.datasets import MOVIELENS_20M, NETFLIX, YAHOO_R1
+from repro.experiments.crosscheck import (
+    crosscheck_model_vs_formulas,
+    wire_bytes_identity,
+)
+
+
+class TestCrosscheck:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return crosscheck_model_vs_formulas()
+
+    def test_eq3_sync_exact(self, result):
+        rows = result.row_map()
+        assert rows["Eq.3 sync time (P&Q)"][3] < 1e-9
+
+    def test_strategy3_law_exact_when_compute_bound(self, result):
+        rows = result.row_map()
+        assert rows["Strategy 3 exposed comm (compute-bound)"][3] < 1e-9
+
+    def test_dp0_is_theorem1_equalizer(self, result):
+        rows = result.row_map()
+        assert rows["Eq.6 DP0 vs Theorem 1 equalizer"][3] < 1e-9
+
+    def test_eq2_ratio_within_order_slack(self, result):
+        """The paper's Eq. 2 ratio is an order-of-magnitude argument; the
+        derived one-way form should land within ~25% (bus latency and
+        the k-constant 16k vs 16k+4 account for the residue)."""
+        rows = result.row_map()
+        assert rows["Eq.2 comm/compute ratio (GPU, P&Q, one-way)"][3] < 0.25
+
+    def test_other_datasets_run(self):
+        for spec in (YAHOO_R1, MOVIELENS_20M):
+            r = crosscheck_model_vs_formulas(spec)
+            assert len(r.rows) == 4
+
+
+class TestWireBytesIdentity:
+    def test_q_only_reduction_matches_paper_formula(self):
+        """Strategy 1's reduction is exactly n/(m+n) (paper: 96.4% saved
+        on Netflix)."""
+        ratios = wire_bytes_identity(NETFLIX)
+        assert ratios["q_over_pq"] == pytest.approx(ratios["paper_q_over_pq"])
+        assert 1 - ratios["q_over_pq"] == pytest.approx(0.964, abs=0.001)
+
+    def test_fp16_exactly_halves(self):
+        assert wire_bytes_identity(NETFLIX)["fp16_factor"] == pytest.approx(2.0)
+
+    def test_square_matrix_lower_bound(self):
+        """The reduction bottoms out at 1/2 when m = n (section 3.4)."""
+        from repro.data.datasets import DatasetSpec
+
+        square = DatasetSpec(name="sq", m=5000, n=5000, nnz=50_000)
+        ratios = wire_bytes_identity(square)
+        assert ratios["q_over_pq"] == pytest.approx(0.5)

@@ -1,0 +1,91 @@
+"""Unit tests for canonical experiment platforms."""
+
+import pytest
+
+from repro.core.config import CommBackendKind, PartitionStrategy, TransmitMode
+from repro.experiments.platforms import (
+    build_combo,
+    combo_price,
+    hetero_platform,
+    overall_platform,
+    single,
+    workers_platform,
+)
+
+
+class TestCanonicalPlatforms:
+    def test_overall_uses_16_threads(self):
+        assert overall_platform().server.threads == 16
+
+    def test_hetero_uses_10_threads(self):
+        assert hetero_platform().server.threads == 10
+
+    def test_workers_platform_scales(self):
+        for n in (1, 2, 3, 4):
+            assert workers_platform(n).n_workers == n
+
+    def test_workers_platform_order(self):
+        """Figure 9 stacking order: 2080S, 6242, 2080, 6242L."""
+        names = [w.spec.name for w in workers_platform(4).workers]
+        assert names == ["2080S", "6242", "2080", "6242L"]
+
+    def test_fourth_worker_time_shared(self):
+        plat = workers_platform(4)
+        assert plat.workers[3].time_share < 1.0
+        assert all(w.time_share == 1.0 for w in plat.workers[:3])
+
+    def test_workers_platform_bounds(self):
+        with pytest.raises(ValueError):
+            workers_platform(0)
+        with pytest.raises(ValueError):
+            workers_platform(5)
+
+
+class TestSingle:
+    def test_lookup(self):
+        plat = single("2080S")
+        assert plat.workers[0].spec.name == "2080S"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown processor"):
+            single("3090")
+
+
+class TestBuildCombo:
+    def test_cpu_gpu_combo(self):
+        plat, cfg = build_combo(["6242", "2080S"])
+        kinds = sorted(w.kind.value for w in plat.workers)
+        assert kinds == ["cpu", "gpu"]
+        assert cfg.partition is PartitionStrategy.AUTO
+
+    def test_cpu_worker_time_shares_server(self):
+        plat, _ = build_combo(["6242", "2080"])
+        cpu = [w for w in plat.workers if w.is_cpu][0]
+        assert cpu.time_share < 1.0
+
+    def test_gpu_only_combo_has_management_server(self):
+        plat, _ = build_combo(["2080", "2080S"])
+        assert plat.server.is_cpu
+        assert all(w.is_gpu for w in plat.workers)
+
+    def test_bad_comm_flags(self):
+        _, cfg = build_combo(["6242", "2080S"], bad_comm=True)
+        assert cfg.comm.backend is CommBackendKind.COMM_P
+        assert cfg.comm.transmit is TransmitMode.P_AND_Q
+
+    def test_unbalanced_flag(self):
+        _, cfg = build_combo(["6242", "2080S"], unbalanced=True)
+        assert cfg.partition is PartitionStrategy.EVEN
+
+    def test_bad_threads_flag(self):
+        plat, cfg = build_combo(["6242", "2080S"], bad_threads=True)
+        cpu = [w for w in plat.workers if w.is_cpu][0]
+        assert cpu.runtime_penalty < 1.0
+        assert cfg.partition is PartitionStrategy.DP0
+
+    def test_empty_names(self):
+        with pytest.raises(ValueError):
+            build_combo([])
+
+    def test_combo_price(self):
+        assert combo_price(["6242", "2080S"]) == pytest.approx(2529.0 + 699.0)

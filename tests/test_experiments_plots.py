@@ -1,0 +1,89 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.experiments.plots import ascii_line_chart, convergence_chart
+
+
+class TestAsciiLineChart:
+    def test_basic_render(self):
+        art = ascii_line_chart(
+            {"down": ([1, 2, 3, 4], [4.0, 3.0, 2.0, 1.0])},
+            width=30, height=8, x_label="epoch", y_label="rmse",
+        )
+        lines = art.splitlines()
+        assert len(lines) == 8 + 2  # grid + x axis + legend
+        assert "down" in art
+        assert "epoch" in art
+        assert "rmse" in art
+
+    def test_axis_ranges_annotated(self):
+        art = ascii_line_chart({"s": ([0, 10], [0.5, 2.5])}, width=30, height=6)
+        assert "2.5" in art
+        assert "0.5" in art
+        assert "10" in art
+
+    def test_multiple_series_distinct_glyphs(self):
+        art = ascii_line_chart(
+            {
+                "a": ([1, 2, 3], [1.0, 2.0, 3.0]),
+                "b": ([1, 2, 3], [3.0, 2.0, 1.0]),
+            },
+            width=30, height=8,
+        )
+        assert "*" in art and "+" in art
+        assert "* a" in art and "+ b" in art
+
+    def test_descending_curve_descends(self):
+        art = ascii_line_chart(
+            {"c": (list(range(10)), [10 - i for i in range(10)])},
+            width=40, height=10,
+        )
+        rows = art.splitlines()[:10]
+        first_col = min(r.find("*") for r in rows if "*" in r)
+        top_row = next(i for i, r in enumerate(rows) if "*" in r)
+        bottom_row = max(i for i, r in enumerate(rows) if "*" in r)
+        assert top_row < bottom_row  # curve spans vertically
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({}, width=30, height=8)
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": ([1], [1.0, 2.0])})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": ([], [])})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": ([1], [1.0])}, width=5, height=2)
+
+    def test_constant_series_ok(self):
+        art = ascii_line_chart({"flat": ([1, 2, 3], [1.0, 1.0, 1.0])}, width=30, height=6)
+        assert "flat" in art
+
+
+class TestConvergenceChart:
+    def _curves(self):
+        return {
+            "HCC": {"rmse": [1.0, 0.8, 0.7], "time": [0.1, 0.2, 0.3]},
+            "FPSGD": {"rmse": [1.0, 0.9, 0.85], "time": [0.5, 1.0, 1.5]},
+        }
+
+    def test_epoch_axis(self):
+        art = convergence_chart(self._curves(), against="epoch")
+        assert "epoch" in art
+        assert "RMSE" in art
+
+    def test_time_axis(self):
+        art = convergence_chart(self._curves(), against="time")
+        assert "time" in art
+        assert "1.5" in art  # the slow method's span
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError, match="against"):
+            convergence_chart(self._curves(), against="bananas")
+
+    def test_renders_fig7_output(self):
+        from repro.experiments.figures import fig7
+
+        r = fig7(max_nnz=6_000, epochs=5, k=8)
+        art = convergence_chart(r.extra["curves"]["Netflix"], against="time")
+        assert "HCC" in art and "cuMF_SGD" in art

@@ -1,0 +1,60 @@
+"""Unit tests for the shared experiment runners and energy helpers."""
+
+import pytest
+
+from repro.core.config import HCCConfig
+from repro.data.datasets import MOVIELENS_20M, NETFLIX, R1_STAR, YAHOO_R1, YAHOO_R2
+from repro.experiments.platforms import overall_platform
+from repro.experiments.runners import dataset_config, run_hcc, single_processor_time
+
+
+class TestDatasetConfig:
+    def test_r1_family_gets_full_stack(self):
+        for spec in (YAHOO_R1, R1_STAR, YAHOO_R1.scaled(5000)):
+            cfg = dataset_config(spec)
+            assert cfg.comm.streams == 4
+            assert cfg.comm.fp16
+
+    def test_others_plain(self):
+        for spec in (NETFLIX, YAHOO_R2, MOVIELENS_20M):
+            cfg = dataset_config(spec)
+            assert cfg.comm.streams == 1
+            assert not cfg.comm.fp16
+
+    def test_k_epochs_passthrough(self):
+        cfg = dataset_config(NETFLIX, k=64, epochs=5)
+        assert cfg.k == 64
+        assert cfg.epochs == 5
+
+
+class TestSingleProcessorTime:
+    def test_matches_table4_rate(self):
+        t = single_processor_time("2080S", NETFLIX, epochs=20, k=128)
+        assert t == pytest.approx(NETFLIX.nnz * 20 / 1_052_866_849, rel=1e-6)
+
+    def test_thread_override(self):
+        t24 = single_processor_time("6242", NETFLIX, epochs=1, threads=24)
+        t16 = single_processor_time("6242", NETFLIX, epochs=1, threads=16)
+        assert t24 < t16
+
+    def test_k_scaling(self):
+        t128 = single_processor_time("2080", NETFLIX, epochs=1, k=128)
+        t32 = single_processor_time("2080", NETFLIX, epochs=1, k=32)
+        assert t128 / t32 == pytest.approx((16 * 128 + 4) / (16 * 32 + 4), rel=1e-6)
+
+
+class TestRunHcc:
+    def test_default_config(self):
+        res = run_hcc(overall_platform(), NETFLIX, epochs=5)
+        assert res.epochs == 5
+        assert res.total_time > 0
+
+    def test_explicit_config_respected(self):
+        cfg = HCCConfig(k=32, epochs=7)
+        res = run_hcc(overall_platform(), NETFLIX, cfg)
+        assert res.epochs == 7
+
+    def test_epochs_override_wins(self):
+        cfg = HCCConfig(k=32, epochs=7)
+        res = run_hcc(overall_platform(), NETFLIX, cfg, epochs=3)
+        assert res.epochs == 3

@@ -1,0 +1,96 @@
+"""Unit tests for the calibration-sensitivity study."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    KNOBS,
+    METRICS,
+    perturbed,
+    sensitivity_study,
+)
+
+
+class TestPerturbed:
+    def test_scales_and_restores(self):
+        import repro.hardware.processor as proc
+
+        original = proc.CPU_CORUN_FACTOR
+        with perturbed("cpu-corun-factor", 1.1) as value:
+            assert proc.CPU_CORUN_FACTOR == pytest.approx(original * 1.1)
+            assert value == pytest.approx(original * 1.1)
+        assert proc.CPU_CORUN_FACTOR == original
+
+    def test_restores_on_exception(self):
+        import repro.core.comm as comm
+
+        original = comm.COMM_P_BANDWIDTH_FACTOR
+        with pytest.raises(RuntimeError):
+            with perturbed("comm-p-slowdown", 0.5):
+                raise RuntimeError("boom")
+        assert comm.COMM_P_BANDWIDTH_FACTOR == original
+
+    def test_unknown_knob(self):
+        with pytest.raises(KeyError):
+            with perturbed("warp-core", 1.1):
+                pass
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            with perturbed("cpu-corun-factor", 0.0):
+                pass
+
+
+class TestSensitivityStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return sensitivity_study(multipliers=(0.8, 1.0, 1.2))
+
+    def test_full_grid(self, study):
+        assert len(study.rows) == len(KNOBS) * 3
+
+    def test_baseline_rows_consistent(self, study):
+        """Every knob's multiplier=1.0 row must report identical metrics
+        (the perturbation context truly restores state)."""
+        baselines = [row[2:] for row in study.rows if row[1] == 1.0]
+        for other in baselines[1:]:
+            for a, b in zip(baselines[0], other):
+                assert a == pytest.approx(b, rel=1e-9)
+
+    def test_shapes_survive_perturbation(self, study):
+        """The headline shapes hold across the whole +-20% grid."""
+        headers = study.headers
+        util_i = headers.index("netflix-utilization")
+        red_i = headers.index("dp1-reduction")
+        q_i = headers.index("q-only-speedup")
+        cp_i = headers.index("comm-p-ratio")
+        for row in study.rows:
+            assert row[util_i] > 0.8          # utilization stays high
+            assert row[red_i] >= 0.0          # DP1 never loses to DP0
+            assert row[q_i] > 15              # Q-only stays a huge win
+            assert row[cp_i] > 4              # COMM-P stays much slower
+
+    def test_corun_knob_drives_dp1_gap(self, study):
+        """By construction, the co-run factor *is* the DP0/DP1 gap: a
+        weaker interference (multiplier > 1) shrinks the reduction."""
+        rows = {
+            (r[0], r[1]): r for r in study.rows if r[0] == "cpu-corun-factor"
+        }
+        red_i = study.headers.index("dp1-reduction")
+        assert rows[("cpu-corun-factor", 0.8)][red_i] > rows[("cpu-corun-factor", 1.2)][red_i]
+
+    def test_comm_p_knob_drives_ratio_only(self, study):
+        cp_i = study.headers.index("comm-p-ratio")
+        util_i = study.headers.index("netflix-utilization")
+        rows = {r[1]: r for r in study.rows if r[0] == "comm-p-slowdown"}
+        assert rows[0.8][cp_i] > rows[1.2][cp_i]
+        assert rows[0.8][util_i] == pytest.approx(rows[1.2][util_i], rel=1e-9)
+
+    def test_requires_baseline(self):
+        with pytest.raises(ValueError, match="1.0"):
+            sensitivity_study(multipliers=(0.9, 1.1))
+
+    def test_metric_registry(self):
+        assert set(METRICS) == {
+            "netflix-utilization", "dp1-reduction",
+            "q-only-speedup", "comm-p-ratio",
+        }

@@ -1,0 +1,67 @@
+"""Unit tests for experiment result containers and table rendering."""
+
+import pytest
+
+from repro.experiments.tables import ExperimentResult, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [[1]])
+
+    def test_headers_required(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1_234_567.0], [0.000123], [3.14159]])
+        assert "1,234,567" in text
+        assert "1.230e-04" in text
+        assert "3.142" in text
+
+
+class TestExperimentResult:
+    def _sample(self):
+        r = ExperimentResult("figX", "demo", ["name", "value"])
+        r.add_row("a", 1.0)
+        r.add_row("b", 2.0)
+        r.add_note("a note")
+        return r
+
+    def test_add_and_column(self):
+        r = self._sample()
+        assert r.column("value") == [1.0, 2.0]
+        assert r.column("name") == ["a", "b"]
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError, match="no column"):
+            self._sample().column("ghost")
+
+    def test_row_map(self):
+        r = self._sample()
+        assert r.row_map()["a"] == ["a", 1.0]
+        assert r.row_map("value")[2.0] == ["b", 2.0]
+
+    def test_render_includes_id_and_notes(self):
+        text = self._sample().render()
+        assert "[figX]" in text
+        assert "note: a note" in text
+
+    def test_extra_storage(self):
+        r = self._sample()
+        r.extra["curve"] = [1, 2, 3]
+        assert r.extra["curve"] == [1, 2, 3]

@@ -1,0 +1,112 @@
+"""Unit tests for the Table 2 / Table 4 calibration layer."""
+
+import pytest
+
+from repro.data.datasets import MOVIELENS_20M, NETFLIX, R1_STAR, YAHOO_R1, YAHOO_R2
+from repro.hardware.calibration import (
+    REFERENCE_K,
+    bytes_per_update,
+    dataset_footprint_gb,
+    dataset_rate,
+    locality_factor,
+    table2_bandwidth,
+    table4_rate,
+)
+
+
+class TestBytesPerUpdate:
+    def test_formula(self):
+        # Eq. 2: 16k + 4 bytes per update
+        assert bytes_per_update(128) == 2052
+        assert bytes_per_update(1) == 20
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bytes_per_update(0)
+
+
+class TestTable2:
+    def test_known_cells(self):
+        assert table2_bandwidth("6242", "IW") == pytest.approx(67.3001)
+        assert table2_bandwidth("2080", "DP0") == pytest.approx(388.7935)
+
+    def test_dp0_exceeds_iw_everywhere(self):
+        for name in ("6242", "6242L", "2080", "2080S"):
+            assert table2_bandwidth(name, "DP0") > table2_bandwidth(name, "IW")
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            table2_bandwidth("V100", "IW")
+
+
+class TestTable4:
+    def test_exact_cells(self):
+        assert table4_rate("2080S", "Netflix") == pytest.approx(1_052_866_849)
+        assert table4_rate("6242-24T", "R2") == pytest.approx(266_293_289)
+
+    def test_scaled_names_resolve(self):
+        assert table4_rate("2080", "Netflix@5000") == table4_rate("2080", "Netflix")
+
+    def test_r1_star_maps_to_r1(self):
+        assert table4_rate("2080", "R1*") == table4_rate("2080", "R1")
+
+    def test_missing_cell_is_none(self):
+        assert table4_rate("V100", "Netflix") is None
+        assert table4_rate("2080", "NoSuchDataset") is None
+
+    def test_r2_punishes_gpus_not_cpus(self):
+        # the characteristic Table 4 shape this model must preserve
+        gpu_drop = table4_rate("2080S", "R2") / table4_rate("2080S", "Netflix")
+        cpu_drop = table4_rate("6242", "R2") / table4_rate("6242", "Netflix")
+        assert gpu_drop < 0.45
+        assert cpu_drop > 0.7
+
+    def test_r1_punishes_cpus_more_than_gpus(self):
+        gpu_drop = table4_rate("2080", "R1") / table4_rate("2080", "Netflix")
+        cpu_drop = table4_rate("6242-24T", "R1") / table4_rate("6242-24T", "Netflix")
+        assert cpu_drop < gpu_drop
+
+
+class TestLocalityFallback:
+    def test_netflix_near_unity(self):
+        assert locality_factor(True, NETFLIX, memory_gb=16.0) == pytest.approx(1.0, abs=0.05)
+        assert locality_factor(False, NETFLIX) == pytest.approx(1.0, abs=0.05)
+
+    def test_r2_memory_pressure_on_small_gpus(self):
+        # 8 GB GPU: R2's footprint (~5 GB) collapses throughput
+        assert locality_factor(True, YAHOO_R2, memory_gb=8.0) < 0.5
+        # 16 GB GPU: no collapse
+        assert locality_factor(True, YAHOO_R2, memory_gb=16.0) > 0.7
+
+    def test_low_reuse_hurts_cpu_more(self):
+        cpu = locality_factor(False, YAHOO_R1)
+        gpu = locality_factor(True, YAHOO_R1, memory_gb=8.0)
+        assert cpu < gpu
+
+    def test_bounded(self):
+        for spec in (NETFLIX, YAHOO_R1, R1_STAR, YAHOO_R2, MOVIELENS_20M):
+            for is_gpu in (True, False):
+                f = locality_factor(is_gpu, spec, memory_gb=8.0)
+                assert 0.2 <= f <= 1.0
+
+    def test_footprint_formula(self):
+        gb = dataset_footprint_gb(NETFLIX, k=128)
+        expected = (12 * NETFLIX.nnz + 4 * 128 * (NETFLIX.m + NETFLIX.n)) / 1e9
+        assert gb == pytest.approx(expected)
+
+
+class TestDatasetRate:
+    def test_prefers_measured(self):
+        assert dataset_rate("2080", True, 1.0, NETFLIX) == table4_rate("2080", "Netflix")
+
+    def test_falls_back_for_unknown_processor(self):
+        rate = dataset_rate("V100", True, 1.28e9, NETFLIX, memory_gb=16.0)
+        assert rate == pytest.approx(1.28e9, rel=0.05)
+
+    def test_fallback_scales_with_locality(self):
+        netflix = dataset_rate("V100", True, 1.28e9, NETFLIX, memory_gb=16.0)
+        r1 = dataset_rate("V100", True, 1.28e9, YAHOO_R1, memory_gb=16.0)
+        assert r1 < netflix
+
+    def test_reference_k(self):
+        assert REFERENCE_K == 128

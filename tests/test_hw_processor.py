@@ -1,0 +1,141 @@
+"""Unit tests for the runtime Processor throughput model."""
+
+import pytest
+
+from repro.data.datasets import NETFLIX, YAHOO_R2
+from repro.hardware.processor import (
+    CPU_CORUN_FACTOR,
+    OVERSUBSCRIPTION_PENALTY,
+    Processor,
+)
+from repro.hardware.specs import RTX_2080, RTX_2080S, XEON_6242
+
+
+class TestNaming:
+    def test_reference_config_plain_name(self):
+        assert Processor(XEON_6242).name == "6242"
+
+    def test_thread_qualified_name(self):
+        assert Processor(XEON_6242, threads=24).name == "6242-24T"
+
+    def test_instance_suffix(self):
+        assert Processor(RTX_2080, instance="gpu1").name == "2080#gpu1"
+
+
+class TestUpdateRate:
+    def test_table4_cell_reproduced(self):
+        p = Processor(RTX_2080S)
+        assert p.update_rate(128, NETFLIX) == pytest.approx(1_052_866_849, rel=1e-6)
+
+    def test_24t_qualified_cell(self):
+        p = Processor(XEON_6242, threads=24)
+        assert p.update_rate(128, NETFLIX) == pytest.approx(348_790_567, rel=1e-6)
+
+    def test_rate_scales_with_k(self):
+        # Eq. 2: rate ~ 1/(16k+4)
+        p = Processor(RTX_2080)
+        r128 = p.update_rate(128, NETFLIX)
+        r32 = p.update_rate(32, NETFLIX)
+        assert r32 / r128 == pytest.approx((16 * 128 + 4) / (16 * 32 + 4), rel=1e-6)
+
+    def test_thread_scaling_cpu(self):
+        fast = Processor(XEON_6242, threads=16).update_rate(128)
+        slow = Processor(XEON_6242, threads=10).update_rate(128)
+        assert slow / fast == pytest.approx(39.32 / 67.30, rel=1e-3)
+
+    def test_partition_boost(self):
+        p = Processor(RTX_2080)
+        full = p.update_rate(128, NETFLIX, partition_frac=1.0)
+        part = p.update_rate(128, NETFLIX, partition_frac=0.25)
+        assert part > full
+        assert part / full == pytest.approx(1 + 0.042 * 0.75, rel=1e-6)
+
+    def test_corun_penalty_cpu_only(self):
+        cpu = Processor(XEON_6242)
+        gpu = Processor(RTX_2080)
+        assert cpu.update_rate(128, NETFLIX, corun=True) == pytest.approx(
+            CPU_CORUN_FACTOR * cpu.update_rate(128, NETFLIX), rel=1e-6
+        )
+        assert gpu.update_rate(128, NETFLIX, corun=True) == pytest.approx(
+            gpu.update_rate(128, NETFLIX), rel=1e-6
+        )
+
+    def test_oversubscription_penalty(self):
+        p = Processor(XEON_6242, threads=64)
+        assert p.oversubscribed
+        ok = Processor(XEON_6242, threads=32)
+        assert p.update_rate(128) == pytest.approx(
+            OVERSUBSCRIPTION_PENALTY * ok.update_rate(128), rel=1e-6
+        )
+
+    def test_runtime_penalty_only_when_corun(self):
+        p = Processor(XEON_6242, runtime_penalty=0.5)
+        clean = Processor(XEON_6242)
+        assert p.update_rate(128, NETFLIX) == pytest.approx(
+            clean.update_rate(128, NETFLIX)
+        )
+        assert p.update_rate(128, NETFLIX, corun=True) == pytest.approx(
+            0.5 * clean.update_rate(128, NETFLIX, corun=True)
+        )
+
+    def test_time_share_scales_rate(self):
+        full = Processor(XEON_6242)
+        shared = Processor(XEON_6242, time_share=0.85)
+        assert shared.update_rate(128) == pytest.approx(0.85 * full.update_rate(128))
+
+    def test_with_time_share_roundtrip(self):
+        p = Processor(XEON_6242, time_share=0.5, runtime_penalty=0.9)
+        restored = p.with_time_share(1.0)
+        assert restored.time_share == 1.0
+        assert restored.runtime_penalty == 0.9
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            Processor(XEON_6242).update_rate(0)
+
+
+class TestComputeTime:
+    def test_inverse_of_rate(self):
+        p = Processor(RTX_2080S)
+        rate = p.update_rate(128, NETFLIX)
+        assert p.compute_time(rate, 128, NETFLIX) == pytest.approx(1.0)
+
+    def test_zero_updates(self):
+        assert Processor(RTX_2080S).compute_time(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Processor(RTX_2080S).compute_time(-1)
+
+    def test_r2_slower_than_netflix_on_gpu(self):
+        p = Processor(RTX_2080S)
+        t_netflix = p.compute_time(1e9, 128, NETFLIX)
+        t_r2 = p.compute_time(1e9, 128, YAHOO_R2)
+        assert t_r2 > 2 * t_netflix  # Table 4's R2 collapse
+
+
+class TestEffectiveBandwidth:
+    def test_iw_matches_table2(self):
+        assert Processor(XEON_6242).effective_bandwidth(1.0) == pytest.approx(67.30)
+
+    def test_partition_boost_direction(self):
+        p = Processor(RTX_2080)
+        assert p.effective_bandwidth(0.3) > p.effective_bandwidth(1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            Processor(XEON_6242).effective_bandwidth(0.0)
+
+
+class TestValidation:
+    def test_bad_time_share(self):
+        with pytest.raises(ValueError):
+            Processor(XEON_6242, time_share=0.0)
+
+    def test_bad_runtime_penalty(self):
+        with pytest.raises(ValueError):
+            Processor(XEON_6242, runtime_penalty=1.5)
+
+    def test_bad_threads(self):
+        with pytest.raises(ValueError):
+            Processor(XEON_6242, threads=-1)

@@ -1,0 +1,36 @@
+"""Unit tests for the wall-clock profiling probes."""
+
+import pytest
+
+from repro.hardware.profiler import measure_copy_bandwidth_gbs, measure_update_rate
+from repro.mf.kernels import ConflictPolicy
+
+
+class TestCopyBandwidth:
+    def test_positive_and_plausible(self):
+        bw = measure_copy_bandwidth_gbs(nbytes=8 * 1024 * 1024, repeats=2)
+        # any machine this runs on copies between 0.1 and 1000 GB/s
+        assert 0.1 < bw < 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_copy_bandwidth_gbs(nbytes=0)
+        with pytest.raises(ValueError):
+            measure_copy_bandwidth_gbs(repeats=0)
+
+
+class TestUpdateRate:
+    def test_counts_every_update(self, small_ratings):
+        rate = measure_update_rate(small_ratings, k=8, seed=0)
+        assert rate > 1e3  # any host manages >1k updates/s
+
+    def test_policy_accepted(self, small_ratings):
+        rate = measure_update_rate(
+            small_ratings, k=8, policy=ConflictPolicy.LAST_WRITE, seed=0
+        )
+        assert rate > 0
+
+    def test_smaller_k_faster(self, medium_ratings):
+        slow = measure_update_rate(medium_ratings, k=64, seed=0)
+        fast = measure_update_rate(medium_ratings, k=8, seed=0)
+        assert fast > slow  # Eq. 2: work ~ (16k+4)

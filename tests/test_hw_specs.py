@@ -1,0 +1,108 @@
+"""Unit tests for processor/bus specifications and the catalog."""
+
+import pytest
+
+from repro.hardware.specs import (
+    BUS_CATALOG,
+    BusKind,
+    BusSpec,
+    PCIE3_X16,
+    PROCESSOR_CATALOG,
+    ProcessorKind,
+    ProcessorSpec,
+    QPI,
+    RTX_2080,
+    RTX_2080S,
+    SHARED_MEMORY,
+    TESLA_V100,
+    UPI,
+    XEON_6242,
+    XEON_6242L_10T,
+)
+
+
+class TestBusSpec:
+    def test_transfer_time_linear_in_bytes(self):
+        t1 = PCIE3_X16.transfer_time(1e9)
+        t2 = PCIE3_X16.transfer_time(2e9)
+        assert t2 > t1
+        assert (t2 - t1) == pytest.approx(1e9 / (15.75e9), rel=1e-6)
+
+    def test_transfer_includes_latency(self):
+        assert PCIE3_X16.transfer_time(0) == pytest.approx(5e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE3_X16.transfer_time(-1)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            BusSpec("bad", BusKind.PCIE, 0.0)
+
+    def test_paper_bandwidths(self):
+        # section 3.3: x16 PCI-E Gen3 ~16 GB/s, QPI 16-20.8 GB/s
+        assert 15.0 <= PCIE3_X16.bandwidth_gbs <= 16.0
+        assert QPI.bandwidth_gbs == 16.0
+        assert UPI.bandwidth_gbs == pytest.approx(20.8)
+        assert SHARED_MEMORY.bandwidth_gbs > UPI.bandwidth_gbs
+
+
+class TestProcessorSpec:
+    def test_kinds(self):
+        assert XEON_6242.is_cpu and not XEON_6242.is_gpu
+        assert RTX_2080.is_gpu and not RTX_2080.is_cpu
+
+    def test_table4_netflix_rates_encoded(self):
+        assert XEON_6242.base_rate_k128 == pytest.approx(272_502_189, rel=1e-3)
+        assert RTX_2080.base_rate_k128 == pytest.approx(918_333_483, rel=1e-3)
+        assert RTX_2080S.base_rate_k128 == pytest.approx(1_052_866_849, rel=1e-3)
+
+    def test_table2_bandwidth_anchors(self):
+        assert XEON_6242.dram_bandwidth(16) == pytest.approx(67.30)
+        assert XEON_6242.dram_bandwidth(10) == pytest.approx(39.32)
+        assert RTX_2080.dram_bandwidth() == pytest.approx(378.62)
+        assert RTX_2080S.dram_bandwidth() == pytest.approx(407.10)
+
+    def test_bandwidth_interpolation(self):
+        mid = XEON_6242.dram_bandwidth(13)
+        assert 39.32 < mid < 67.30
+
+    def test_bandwidth_saturates(self):
+        assert XEON_6242.dram_bandwidth(24) == pytest.approx(67.30)
+        assert XEON_6242.dram_bandwidth(100) == pytest.approx(67.30)
+        assert XEON_6242.dram_bandwidth(1) == pytest.approx(39.32)
+
+    def test_gpu_has_copy_engines_and_memory(self):
+        for gpu in (RTX_2080, RTX_2080S, TESLA_V100):
+            assert gpu.copy_engines == 2
+            assert gpu.memory_gb > 0
+
+    def test_v100_memory_larger(self):
+        assert TESLA_V100.memory_gb > RTX_2080.memory_gb
+
+    def test_prices_match_fig3b_shape(self):
+        # Figure 3(b): the V100 costs more than 3x a 6242+2080S combo part
+        assert TESLA_V100.price_usd > 3 * (RTX_2080S.price_usd + XEON_6242.price_usd) / 2
+        assert RTX_2080.price_usd == RTX_2080S.price_usd
+
+    def test_catalog_complete(self):
+        assert set(PROCESSOR_CATALOG) == {"6242", "6242L", "2080", "2080S", "V100"}
+        assert set(BUS_CATALOG) == {"PCI-E 3.0 x16", "QPI", "UPI", "shared-memory"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorSpec(
+                name="x", kind=ProcessorKind.CPU, ref_threads=4, max_threads=2,
+                base_rate_k128=1.0, bandwidth_anchors=((4, 10.0),),
+                partition_boost=0.0, price_usd=1.0,
+            )
+        with pytest.raises(ValueError):
+            ProcessorSpec(
+                name="x", kind=ProcessorKind.CPU, ref_threads=4, max_threads=8,
+                base_rate_k128=0.0, bandwidth_anchors=((4, 10.0),),
+                partition_boost=0.0, price_usd=1.0,
+            )
+
+    def test_6242l_is_slower_sibling(self):
+        assert XEON_6242L_10T.base_rate_k128 < XEON_6242.base_rate_k128
+        assert XEON_6242L_10T.ref_threads == 10

@@ -1,0 +1,116 @@
+"""Unit tests for the Strategy-3 multi-stream pipeline model."""
+
+import pytest
+
+from repro.hardware.streams import (
+    PipelineResult,
+    pipeline_schedule,
+    theoretical_exposed_comm,
+)
+from repro.hardware.timeline import Phase
+
+
+class TestDegenerate:
+    def test_single_stream_is_serial(self):
+        res = pipeline_schedule(1.0, 3.0, 0.5, streams=1)
+        assert res.epoch_time == pytest.approx(4.5)
+        assert res.exposed_comm == pytest.approx(1.5)
+        assert res.hidden_fraction == pytest.approx(0.0)
+
+    def test_zero_comm(self):
+        res = pipeline_schedule(0.0, 2.0, 0.0, streams=4)
+        assert res.epoch_time == pytest.approx(2.0)
+        assert res.exposed_comm == 0.0
+
+    def test_zero_compute(self):
+        res = pipeline_schedule(1.0, 0.0, 1.0, streams=2, copy_engines=2)
+        # copy-in and copy-out overlap except for the first/last chunk deps
+        assert res.epoch_time <= 2.0 + 1e-9
+        assert res.epoch_time >= 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            pipeline_schedule(1, 1, 1, streams=0)
+        with pytest.raises(ValueError):
+            pipeline_schedule(1, 1, 1, streams=2, copy_engines=3)
+        with pytest.raises(ValueError):
+            pipeline_schedule(-1, 1, 1, streams=2)
+
+
+class TestOverlap:
+    def test_compute_bound_hides_most_comm(self):
+        """When compute >> comm, exposed comm approaches 1/streams of total
+        (the paper's Figure 6 claim)."""
+        pull, comp, push, s = 0.4, 10.0, 0.4, 4
+        res = pipeline_schedule(pull, comp, push, streams=s)
+        assert res.exposed_comm == pytest.approx(
+            theoretical_exposed_comm(pull, push, s), rel=0.01
+        )
+
+    def test_more_streams_never_slower(self):
+        times = [
+            pipeline_schedule(1.0, 5.0, 1.0, streams=s).epoch_time
+            for s in (1, 2, 4, 8)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_epoch_time_lower_bound(self):
+        # can never beat max(compute, pull, push)
+        res = pipeline_schedule(2.0, 1.0, 0.5, streams=8)
+        assert res.epoch_time >= 2.0 - 1e-9
+
+    def test_single_copy_engine_serializes(self):
+        dual = pipeline_schedule(1.0, 1.0, 1.0, streams=4, copy_engines=2)
+        single = pipeline_schedule(1.0, 1.0, 1.0, streams=4, copy_engines=1)
+        assert single.epoch_time >= dual.epoch_time
+
+    def test_hidden_fraction_monotone_in_streams(self):
+        fr = [
+            pipeline_schedule(1.0, 6.0, 1.0, streams=s).hidden_fraction
+            for s in (1, 2, 4)
+        ]
+        assert fr[0] < fr[1] < fr[2]
+
+
+class TestSpans:
+    def test_span_counts(self):
+        res = pipeline_schedule(1.0, 2.0, 1.0, streams=3, worker="gpu")
+        pulls = [s for s in res.spans if s.phase is Phase.PULL]
+        comps = [s for s in res.spans if s.phase is Phase.COMPUTE]
+        pushes = [s for s in res.spans if s.phase is Phase.PUSH]
+        assert len(pulls) == len(comps) == len(pushes) == 3
+
+    def test_dependencies_respected(self):
+        res = pipeline_schedule(1.0, 2.0, 1.0, streams=3)
+        pulls = sorted((s for s in res.spans if s.phase is Phase.PULL), key=lambda s: s.start)
+        comps = sorted((s for s in res.spans if s.phase is Phase.COMPUTE), key=lambda s: s.start)
+        pushes = sorted((s for s in res.spans if s.phase is Phase.PUSH), key=lambda s: s.start)
+        for i in range(3):
+            assert comps[i].start >= pulls[i].end - 1e-12
+            assert pushes[i].start >= comps[i].end - 1e-12
+
+    def test_engines_serial(self):
+        res = pipeline_schedule(2.0, 1.0, 2.0, streams=4)
+        for phase in (Phase.PULL, Phase.COMPUTE, Phase.PUSH):
+            spans = sorted(
+                (s for s in res.spans if s.phase is phase), key=lambda s: s.start
+            )
+            for a, b in zip(spans, spans[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_no_spans_for_zero_phases(self):
+        res = pipeline_schedule(0.0, 2.0, 0.0, streams=2)
+        assert all(s.phase is Phase.COMPUTE for s in res.spans)
+
+    def test_epoch_time_matches_spans(self):
+        res = pipeline_schedule(1.0, 3.0, 1.0, streams=2, t0=5.0)
+        assert max(s.end for s in res.spans) == pytest.approx(5.0 + res.epoch_time)
+
+
+class TestTheory:
+    def test_theoretical_formula(self):
+        assert theoretical_exposed_comm(2.0, 2.0, 4) == pytest.approx(1.0)
+
+    def test_invalid_streams(self):
+        with pytest.raises(ValueError):
+            theoretical_exposed_comm(1, 1, 0)

@@ -1,0 +1,114 @@
+"""Unit tests for execution timelines and the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.hardware.timeline import Phase, Span, Timeline
+
+
+class TestSpan:
+    def test_duration(self):
+        s = Span("w", Phase.COMPUTE, 1.0, 3.5)
+        assert s.duration == 2.5
+
+    def test_reversed_span_rejected(self):
+        with pytest.raises(ValueError, match="ends before"):
+            Span("w", Phase.PULL, 2.0, 1.0)
+
+    def test_zero_duration_allowed(self):
+        assert Span("w", Phase.SYNC, 1.0, 1.0).duration == 0.0
+
+
+class TestTimeline:
+    def _sample(self) -> Timeline:
+        tl = Timeline()
+        tl.add("a", Phase.PULL, 0.0, 1.0)
+        tl.add("a", Phase.COMPUTE, 1.0, 4.0)
+        tl.add("a", Phase.PUSH, 4.0, 5.0)
+        tl.add("b", Phase.PULL, 0.0, 0.5)
+        tl.add("b", Phase.COMPUTE, 0.5, 3.0, epoch=0)
+        tl.add("server", Phase.SYNC, 5.0, 5.5)
+        return tl
+
+    def test_workers_in_first_seen_order(self):
+        assert self._sample().workers() == ["a", "b", "server"]
+
+    def test_span_bounds_and_makespan(self):
+        tl = self._sample()
+        assert tl.span_of() == (0.0, 5.5)
+        assert tl.makespan() == 5.5
+
+    def test_empty_timeline(self):
+        tl = Timeline()
+        assert tl.span_of() == (0.0, 0.0)
+        assert tl.makespan() == 0.0
+        assert len(tl) == 0
+
+    def test_worker_end(self):
+        tl = self._sample()
+        assert tl.worker_end("a") == 5.0
+        assert tl.worker_end("b") == 3.0
+        with pytest.raises(KeyError):
+            tl.worker_end("ghost")
+
+    def test_phase_total(self):
+        tl = self._sample()
+        assert tl.phase_total(Phase.PULL) == pytest.approx(1.5)
+        assert tl.phase_total(Phase.PULL, "a") == pytest.approx(1.0)
+        assert tl.phase_total(Phase.SYNC) == pytest.approx(0.5)
+
+    def test_phase_totals_dict(self):
+        totals = self._sample().phase_totals("a")
+        assert totals[Phase.COMPUTE] == pytest.approx(3.0)
+        assert totals[Phase.SYNC] == 0.0
+
+    def test_epoch_filtering(self):
+        tl = Timeline()
+        tl.add("a", Phase.COMPUTE, 0, 1, epoch=0)
+        tl.add("a", Phase.COMPUTE, 1, 2, epoch=1)
+        assert len(tl.epoch_spans(0)) == 1
+        assert tl.epoch_time(1) == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            tl.epoch_time(9)
+
+    def test_extend_type_checked(self):
+        tl = Timeline()
+        with pytest.raises(TypeError):
+            tl.extend(["not a span"])
+
+    def test_spans_copy(self):
+        tl = self._sample()
+        spans = tl.spans
+        spans.clear()
+        assert len(tl) == 6
+
+
+class TestAsciiGantt:
+    def test_contains_all_lanes_and_legend(self):
+        tl = Timeline()
+        tl.add("worker-x", Phase.PULL, 0, 1)
+        tl.add("worker-y", Phase.COMPUTE, 1, 4)
+        art = tl.ascii_gantt(width=40)
+        assert "worker-x" in art
+        assert "worker-y" in art
+        assert "legend" in art
+
+    def test_glyphs_present(self):
+        tl = Timeline()
+        tl.add("w", Phase.PULL, 0, 2)
+        tl.add("w", Phase.COMPUTE, 2, 8)
+        tl.add("w", Phase.PUSH, 8, 10)
+        tl.add("srv", Phase.SYNC, 10, 11)
+        art = tl.ascii_gantt(width=44)
+        assert "<" in art and "#" in art and ">" in art and "S" in art
+
+    def test_compute_dominates_width(self):
+        tl = Timeline()
+        tl.add("w", Phase.PULL, 0, 1)
+        tl.add("w", Phase.COMPUTE, 1, 9)
+        tl.add("w", Phase.PUSH, 9, 10)
+        row = tl.ascii_gantt(width=50).splitlines()[0]
+        assert row.count("#") > 5 * row.count("<")
+
+    def test_min_width_enforced(self):
+        with pytest.raises(ValueError):
+            Timeline().ascii_gantt(width=2)

@@ -1,0 +1,70 @@
+"""Unit tests for Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.hardware.timeline import Phase, Timeline
+from repro.hardware.trace import export_chrome_trace, timeline_to_trace_events
+
+
+@pytest.fixture
+def timeline():
+    tl = Timeline()
+    tl.add("gpu0", Phase.PULL, 0.0, 0.1, epoch=0)
+    tl.add("gpu0", Phase.COMPUTE, 0.1, 0.9, epoch=0)
+    tl.add("gpu0", Phase.PUSH, 0.9, 1.0, epoch=0)
+    tl.add("server", Phase.SYNC, 1.0, 1.05, epoch=0)
+    return tl
+
+
+class TestTraceEvents:
+    def test_one_x_event_per_span(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        x_events = [e for e in events if e["ph"] == "X"]
+        assert len(x_events) == 4
+
+    def test_thread_metadata_per_worker(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"gpu0", "server"}
+
+    def test_timestamps_in_microseconds(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        compute = [e for e in events if e.get("name") == "computing"][0]
+        assert compute["ts"] == pytest.approx(0.1 * 1e6)
+        assert compute["dur"] == pytest.approx(0.8 * 1e6)
+
+    def test_time_unit_scaling(self, timeline):
+        events = timeline_to_trace_events(timeline, time_unit=1e-3)
+        compute = [e for e in events if e.get("name") == "computing"][0]
+        assert compute["ts"] == pytest.approx(0.1 * 1e3)
+
+    def test_invalid_time_unit(self, timeline):
+        with pytest.raises(ValueError):
+            timeline_to_trace_events(timeline, time_unit=0)
+
+    def test_epoch_in_category(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        cats = {e["cat"] for e in events if e["ph"] == "X"}
+        assert cats == {"epoch-0"}
+
+
+class TestExport:
+    def test_writes_valid_json(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(timeline, path)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == count
+        assert data["displayTimeUnit"] == "ms"
+
+    def test_framework_timeline_exports(self, tmp_path):
+        from repro.core.config import HCCConfig
+        from repro.core.framework import HCCMF
+        from repro.data.datasets import NETFLIX
+        from repro.hardware.topology import paper_workstation
+
+        res = HCCMF(paper_workstation(16), NETFLIX, HCCConfig(k=128, epochs=2)).train()
+        count = export_chrome_trace(res.timeline, tmp_path / "t.json")
+        assert count > 10

@@ -1,0 +1,116 @@
+"""End-to-end integration tests across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CuMFSGD,
+    FPSGD,
+    HCCConfig,
+    HCCMF,
+    HogwildSGD,
+    NETFLIX,
+    PartitionStrategy,
+    paper_workstation,
+)
+from repro.core.config import CommConfig
+from repro.data.datasets import YAHOO_R2
+
+
+class TestHCCVsBaselines:
+    """Figure 7's headline: HCC converges like the single-processor
+    methods while the modeled time says it runs faster."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return NETFLIX.scaled(20_000).generate(seed=11)
+
+    def test_equivalent_convergence(self, data):
+        epochs, k, lr = 8, 8, 0.01
+        hcc = HCCMF(
+            paper_workstation(16), NETFLIX,
+            HCCConfig(k=k, epochs=epochs, learning_rate=lr, seed=1),
+            ratings=data,
+        ).train()
+        fp = FPSGD(k=k, threads=4, lr=lr, reg=NETFLIX.reg, seed=1)
+        fp.fit(data, epochs=epochs)
+        cu = CuMFSGD(k=k, gpu_threads=2048, lr=lr, reg=NETFLIX.reg, seed=1)
+        cu.fit(data, epochs=epochs)
+
+        final = [hcc.final_rmse, fp.history.final_rmse, cu.history.final_rmse]
+        assert max(final) - min(final) < 0.1  # same convergence regime
+
+    def test_hcc_faster_in_model_time(self, data):
+        hcc = HCCMF(paper_workstation(16), NETFLIX, HCCConfig(k=128, epochs=20)).train()
+        from repro.experiments.runners import single_processor_time
+
+        t_gpu = single_processor_time("2080S", NETFLIX, epochs=20)
+        t_cpu = single_processor_time("6242", NETFLIX, epochs=20, threads=24)
+        assert hcc.total_time < t_gpu < t_cpu
+
+
+class TestStrategyStackEndToEnd:
+    def test_every_partition_strategy_trains(self):
+        data = NETFLIX.scaled(8000).generate(seed=2)
+        for strat in PartitionStrategy:
+            cfg = HCCConfig(
+                k=8, epochs=3, learning_rate=0.01, seed=0, partition=strat
+            )
+            res = HCCMF(paper_workstation(16), NETFLIX, cfg, ratings=data).train()
+            assert res.rmse_history[-1] < res.rmse_history[0], strat
+
+    def test_comm_strategies_do_not_change_convergence_class(self):
+        data = NETFLIX.scaled(8000).generate(seed=2)
+        results = {}
+        for label, comm in [
+            ("plain", CommConfig()),
+            ("fp16", CommConfig(fp16=True)),
+            ("streams", CommConfig(streams=4)),
+        ]:
+            cfg = HCCConfig(k=8, epochs=5, learning_rate=0.01, seed=0, comm=comm)
+            res = HCCMF(paper_workstation(16), NETFLIX, cfg, ratings=data).train()
+            results[label] = res.final_rmse
+        base = results["plain"]
+        for label, rmse in results.items():
+            assert rmse == pytest.approx(base, abs=0.05), label
+
+    def test_sim_time_ranks_strategies_correctly(self):
+        """even > dp0 > dp1 on a compute-bound dataset."""
+        times = {}
+        for strat in ("even", "dp0", "dp1"):
+            cfg = HCCConfig(k=128, epochs=20, partition=PartitionStrategy(strat))
+            times[strat] = HCCMF(paper_workstation(16), NETFLIX, cfg).train().total_time
+        assert times["even"] > times["dp0"] > times["dp1"]
+
+
+class TestHogwildTheory:
+    def test_sparser_data_converges_closer_to_serial(self):
+        """Hogwild's premise: sparse data -> fewer conflicts -> async
+        matches serial-style convergence more closely."""
+        from repro.data.synthetic import SyntheticConfig, generate_low_rank
+
+        sparse = generate_low_rank(SyntheticConfig(m=600, n=400, nnz=6000), seed=1)
+        dense = generate_low_rank(SyntheticConfig(m=40, n=30, nnz=1100), seed=1)
+
+        def gap(data):
+            ref = HogwildSGD(k=6, lr=0.01, batch_size=1, seed=0)
+            ref.fit(data, epochs=4)
+            async_ = HogwildSGD(k=6, lr=0.01, batch_size=512, seed=0)
+            async_.fit(data, epochs=4)
+            return abs(ref.history.final_rmse - async_.history.final_rmse)
+
+        assert gap(sparse) < gap(dense) + 0.05
+
+
+class TestCrossDatasetShapes:
+    def test_r2_prefers_cpu_shares_more_than_netflix(self):
+        """On R2, the GPUs collapse (Table 4), so DP gives CPUs a larger
+        share than they get on Netflix."""
+        def cpu_share(spec):
+            hcc = HCCMF(paper_workstation(16), spec, HCCConfig(k=128))
+            plan = hcc.prepare()
+            return sum(
+                f for w, f in zip(hcc.platform.workers, plan.fractions) if w.is_cpu
+            )
+
+        assert cpu_share(YAHOO_R2) > cpu_share(NETFLIX) + 0.1

@@ -1,0 +1,161 @@
+"""Unit tests for the ALS comparator and biased MF."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import NETFLIX
+from repro.data.synthetic import SyntheticConfig, generate_low_rank
+from repro.mf.als import ALS, als_flops_per_rating
+from repro.mf.biased import BiasedMF
+from repro.mf.sgd import HogwildSGD
+
+
+class TestALS:
+    def test_converges_fast_per_epoch(self, small_ratings):
+        a = ALS(k=8, reg=0.1, seed=0)
+        a.fit(small_ratings, epochs=4)
+        assert a.history.rmse[-1] < a.history.rmse[0]
+        # closed-form solves: big drop in very few epochs
+        assert a.history.rmse[1] < 0.7 * a.history.rmse[0]
+
+    def test_beats_sgd_per_epoch(self, small_ratings):
+        a = ALS(k=8, reg=0.1, seed=0)
+        a.fit(small_ratings, epochs=4)
+        h = HogwildSGD(k=8, lr=0.01, seed=0)
+        h.fit(small_ratings, epochs=4)
+        assert a.history.rmse[-1] < h.history.rmse[-1]
+
+    def test_exact_on_noiseless_low_rank(self):
+        """Hand-built rank-3 data (no clipping/quantization artifacts):
+        ALS with k >= rank must recover it almost exactly."""
+        from repro.data.ratings import RatingMatrix
+
+        rng = np.random.default_rng(2)
+        u = rng.standard_normal((50, 3))
+        v = rng.standard_normal((3, 40))
+        dense = (u @ v).astype(np.float32)
+        flat = rng.choice(50 * 40, size=1200, replace=False)
+        data = RatingMatrix(50, 40, flat // 40, flat % 40, dense[flat // 40, flat % 40])
+        a = ALS(k=6, reg=1e-5, seed=0)
+        a.fit(data, epochs=10)
+        assert a.history.rmse[-1] < 0.05
+
+    def test_regularization_shrinks_factors(self, small_ratings):
+        weak = ALS(k=6, reg=1e-4, seed=0)
+        strong = ALS(k=6, reg=5.0, seed=0)
+        weak.fit(small_ratings, epochs=3)
+        strong.fit(small_ratings, epochs=3)
+        assert np.linalg.norm(strong.model.P) < np.linalg.norm(weak.model.P)
+
+    def test_parameters_finite(self, small_ratings):
+        a = ALS(k=8, reg=0.05, seed=0)
+        a.fit(small_ratings, epochs=3)
+        assert np.all(np.isfinite(a.model.P))
+        assert np.all(np.isfinite(a.model.Q))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ALS(k=0)
+        with pytest.raises(ValueError):
+            ALS(k=4, reg=-1)
+
+    def test_flops_model(self):
+        # larger k costs quadratically-plus per rating
+        assert als_flops_per_rating(64, 100) > 10 * als_flops_per_rating(16, 100)
+        # sparse entities pay more amortized solve cost
+        assert als_flops_per_rating(32, 5) > als_flops_per_rating(32, 500)
+        with pytest.raises(ValueError):
+            als_flops_per_rating(0, 10)
+
+
+class TestBiasedMF:
+    def test_converges(self, small_ratings):
+        b = BiasedMF(k=8, lr=0.02, seed=0)
+        b.fit(small_ratings, epochs=8)
+        assert b.history.rmse[-1] < b.history.rmse[0]
+
+    def test_biases_learn_on_biased_data(self):
+        """With injected user/item bias structure, BiasedMF must learn
+        non-trivial bias vectors."""
+        cfg = SyntheticConfig(
+            m=300, n=120, nnz=9000, rank=4, noise=0.05,
+            rating_min=0.0, rating_max=10.0, rating_step=0.0,
+            user_bias_std=1.5, item_bias_std=1.0,
+        )
+        data = generate_low_rank(cfg, seed=4)
+        b = BiasedMF(k=6, lr=0.03, seed=0)
+        b.fit(data, epochs=15)
+        assert float(np.std(b.user_bias)) > 0.2
+        assert b.history.rmse[-1] < b.history.rmse[0]
+
+    def test_recovers_ground_truth_biases(self):
+        """Pure bias-structured data (rank 0 + biases): the learned user
+        biases must correlate strongly with the injected ones."""
+        from repro.data.ratings import RatingMatrix
+
+        rng = np.random.default_rng(7)
+        m, n, nnz = 150, 80, 5000
+        bu = rng.normal(0.0, 1.5, m)
+        bi = rng.normal(0.0, 1.0, n)
+        mu = 5.0
+        flat = rng.choice(m * n, size=nnz, replace=False)
+        rows, cols = flat // n, flat % n
+        vals = (mu + bu[rows] + bi[cols] + rng.normal(0, 0.05, nnz)).astype(np.float32)
+        data = RatingMatrix(m, n, rows, cols, vals)
+        b = BiasedMF(k=4, lr=0.05, seed=0)
+        b.fit(data, epochs=25)
+        corr = np.corrcoef(b.user_bias, bu)[0, 1]
+        assert corr > 0.8
+
+    def test_mu_is_global_mean(self, small_ratings):
+        b = BiasedMF(k=4, seed=0)
+        b.fit(small_ratings, epochs=1)
+        assert b.mu == pytest.approx(small_ratings.mean_rating())
+
+    def test_predict_requires_fit(self):
+        b = BiasedMF(k=4)
+        with pytest.raises(RuntimeError):
+            b.predict(np.array([0]), np.array([0]))
+
+    def test_rmse_consistent_with_predict(self, small_ratings):
+        b = BiasedMF(k=4, seed=0)
+        b.fit(small_ratings, epochs=2)
+        err = small_ratings.vals - b.predict(small_ratings.rows, small_ratings.cols)
+        assert b.rmse(small_ratings) == pytest.approx(
+            float(np.sqrt(np.mean(err.astype(np.float64) ** 2))), rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiasedMF(k=0)
+        with pytest.raises(ValueError):
+            BiasedMF(k=4, batch_size=0)
+
+
+class TestSyntheticBiases:
+    def test_bias_injection_changes_values(self):
+        base = SyntheticConfig(m=80, n=60, nnz=1000, rating_step=0.0, noise=0.0)
+        biased = SyntheticConfig(m=80, n=60, nnz=1000, rating_step=0.0, noise=0.0,
+                                 user_bias_std=2.0, item_bias_std=2.0)
+        a = generate_low_rank(base, seed=1)
+        b = generate_low_rank(biased, seed=1)
+        # same coordinates, shifted values
+        np.testing.assert_array_equal(a.rows, b.rows)
+        assert not np.allclose(a.vals, b.vals)
+
+    def test_user_rows_shift_together(self):
+        cfg = SyntheticConfig(m=50, n=40, nnz=1500, rating_min=0, rating_max=100,
+                              rating_step=0.0, noise=0.0, user_bias_std=8.0,
+                              row_skew=0.0, col_skew=0.0)
+        base_cfg = SyntheticConfig(m=50, n=40, nnz=1500, rating_min=0, rating_max=100,
+                                   rating_step=0.0, noise=0.0,
+                                   row_skew=0.0, col_skew=0.0)
+        biased = generate_low_rank(cfg, seed=3)
+        plain = generate_low_rank(base_cfg, seed=3)
+        # per-user mean deltas should have larger spread under bias
+        def user_means(r):
+            sums = np.bincount(r.rows, weights=r.vals, minlength=r.m)
+            cnts = np.bincount(r.rows, minlength=r.m).clip(min=1)
+            return sums / cnts
+        spread_biased = np.std(user_means(biased) - user_means(plain))
+        assert spread_biased > 1.0

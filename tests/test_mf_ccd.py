@@ -1,0 +1,119 @@
+"""Unit tests for CCD++ and user fold-in."""
+
+import numpy as np
+import pytest
+
+from repro.data.ratings import RatingMatrix
+from repro.mf.ccd import CCDPlusPlus, fold_in_user
+from repro.mf.sgd import HogwildSGD
+
+
+class TestCCDPlusPlus:
+    def test_converges_fast(self, small_ratings):
+        c = CCDPlusPlus(k=8, reg=0.05, seed=0)
+        c.fit(small_ratings, epochs=5)
+        assert c.history.rmse[-1] < c.history.rmse[0]
+        # closed-form coordinate solves: beats SGD at equal epochs
+        h = HogwildSGD(k=8, lr=0.01, seed=0)
+        h.fit(small_ratings, epochs=5)
+        assert c.history.rmse[-1] < h.history.rmse[-1]
+
+    def test_residual_matches_model(self, small_ratings):
+        """The incrementally-maintained residual must agree with a fresh
+        prediction at the end of training (no drift)."""
+        c = CCDPlusPlus(k=6, reg=0.05, seed=1)
+        c.fit(small_ratings, epochs=3)
+        direct = small_ratings.vals - c.model.predict(
+            small_ratings.rows, small_ratings.cols
+        )
+        train_rmse = float(np.sqrt(np.mean(direct.astype(np.float64) ** 2)))
+        # history recorded residual-based train mse each epoch
+        assert train_rmse**2 == pytest.approx(c.history.train_mse[-1], rel=1e-3)
+
+    def test_exact_on_noiseless_rank1(self):
+        rng = np.random.default_rng(0)
+        u = rng.uniform(0.5, 2.0, 30)
+        v = rng.uniform(0.5, 2.0, 20)
+        dense = np.outer(u, v).astype(np.float32)
+        flat = rng.choice(30 * 20, size=400, replace=False)
+        data = RatingMatrix(30, 20, flat // 20, flat % 20, dense[flat // 20, flat % 20])
+        c = CCDPlusPlus(k=2, reg=1e-6, seed=0)
+        c.fit(data, epochs=10)
+        assert c.history.rmse[-1] < 0.02
+
+    def test_inner_sweeps_help_or_match(self, small_ratings):
+        one = CCDPlusPlus(k=6, reg=0.05, inner_sweeps=1, seed=0)
+        three = CCDPlusPlus(k=6, reg=0.05, inner_sweeps=3, seed=0)
+        one.fit(small_ratings, epochs=3)
+        three.fit(small_ratings, epochs=3)
+        assert three.history.rmse[-1] <= one.history.rmse[-1] + 0.02
+
+    def test_regularization_shrinks(self, small_ratings):
+        weak = CCDPlusPlus(k=6, reg=1e-5, seed=0)
+        strong = CCDPlusPlus(k=6, reg=5.0, seed=0)
+        weak.fit(small_ratings, epochs=3)
+        strong.fit(small_ratings, epochs=3)
+        assert np.linalg.norm(strong.model.P) < np.linalg.norm(weak.model.P)
+
+    def test_parameters_finite(self, small_ratings):
+        c = CCDPlusPlus(k=8, seed=0)
+        c.fit(small_ratings, epochs=4)
+        assert np.all(np.isfinite(c.model.P))
+        assert np.all(np.isfinite(c.model.Q))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CCDPlusPlus(k=0)
+        with pytest.raises(ValueError):
+            CCDPlusPlus(k=4, reg=-1)
+        with pytest.raises(ValueError):
+            CCDPlusPlus(k=4, inner_sweeps=0)
+
+
+class TestFoldIn:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        from repro.data.datasets import NETFLIX
+
+        data = NETFLIX.scaled(12_000).generate(seed=2)
+        c = CCDPlusPlus(k=8, reg=0.05, seed=2)
+        c.fit(data, epochs=5)
+        return c.model, data
+
+    def test_folded_user_predicts_own_ratings(self, trained):
+        model, data = trained
+        # take an existing user's ratings and fold them in as if new
+        user = int(np.argmax(data.row_counts()))
+        mask = data.rows == user
+        items, vals = data.cols[mask], data.vals[mask]
+        p_new = fold_in_user(model, items, vals, reg=0.05)
+        preds = p_new @ model.Q[:, items]
+        rmse = float(np.sqrt(np.mean((preds - vals) ** 2)))
+        assert rmse < 1.0  # close fit to the user's own ratings
+
+    def test_matches_trained_factor_direction(self, trained):
+        model, data = trained
+        user = int(np.argmax(data.row_counts()))
+        mask = data.rows == user
+        p_new = fold_in_user(model, data.cols[mask], data.vals[mask], reg=0.05)
+        trained_p = model.P[user]
+        cos = float(
+            np.dot(p_new, trained_p)
+            / (np.linalg.norm(p_new) * np.linalg.norm(trained_p) + 1e-12)
+        )
+        assert cos > 0.7
+
+    def test_shape_and_dtype(self, trained):
+        model, data = trained
+        p = fold_in_user(model, data.cols[:5], data.vals[:5])
+        assert p.shape == (model.k,)
+        assert p.dtype == np.float32
+
+    def test_validation(self, trained):
+        model, data = trained
+        with pytest.raises(ValueError):
+            fold_in_user(model, np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            fold_in_user(model, np.array([0, 1]), np.array([1.0]))
+        with pytest.raises(IndexError):
+            fold_in_user(model, np.array([model.n]), np.array([1.0]))

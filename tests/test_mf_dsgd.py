@@ -1,0 +1,91 @@
+"""Unit tests for the DSGD baseline."""
+
+import numpy as np
+import pytest
+
+from repro.mf.dsgd import DSGD, dsgd_epoch_time, stratum_schedule
+
+
+class TestStratumSchedule:
+    def test_covers_grid_exactly_once(self):
+        p = 4
+        seen = set()
+        for stratum in stratum_schedule(p):
+            for block in stratum:
+                assert block not in seen
+                seen.add(block)
+        assert len(seen) == p * p
+
+    def test_strata_are_conflict_free(self):
+        """Within a stratum, no two blocks share a row or column band."""
+        for stratum in stratum_schedule(5):
+            rows = [i for i, _ in stratum]
+            cols = [j for _, j in stratum]
+            assert len(set(rows)) == len(rows)
+            assert len(set(cols)) == len(cols)
+
+    def test_one_block_per_worker_per_stratum(self):
+        for stratum in stratum_schedule(3):
+            assert [i for i, _ in stratum] == [0, 1, 2]
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            stratum_schedule(0)
+
+
+class TestDSGDTraining:
+    def test_converges(self, small_ratings):
+        d = DSGD(k=8, workers=3, lr=0.01, reg=0.01, seed=0)
+        d.fit(small_ratings, epochs=5)
+        assert d.history.rmse[-1] < d.history.rmse[0]
+
+    def test_strata_counted(self, small_ratings):
+        d = DSGD(k=4, workers=3, seed=0)
+        d.fit(small_ratings, epochs=2)
+        assert d.strata_run == 2 * 3  # p strata per epoch
+
+    def test_deterministic(self, small_ratings):
+        a = DSGD(k=4, workers=2, lr=0.01, seed=5)
+        b = DSGD(k=4, workers=2, lr=0.01, seed=5)
+        a.fit(small_ratings, epochs=3)
+        b.fit(small_ratings, epochs=3)
+        assert a.history.rmse == b.history.rmse
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DSGD(k=0)
+        with pytest.raises(ValueError):
+            DSGD(k=4, workers=0)
+
+
+class TestDSGDEpochTime:
+    def test_homogeneous_is_perfect(self):
+        p = 3
+        block_nnz = np.full((p, p), 100.0)
+        t = dsgd_epoch_time(block_nnz, [10.0] * p)
+        # p strata x (100 updates / 10 per s) each
+        assert t == pytest.approx(p * 10.0)
+
+    def test_bucket_effect(self):
+        """Equal blocks on heterogeneous workers run at the slowest pace."""
+        p = 2
+        block_nnz = np.full((p, p), 100.0)
+        slow_fast = dsgd_epoch_time(block_nnz, [1.0, 100.0])
+        balanced = dsgd_epoch_time(block_nnz, [50.5, 50.5])
+        # same aggregate capacity, but heterogeneity wrecks the barrier time
+        assert slow_fast > 10 * balanced
+
+    def test_barrier_cost_added_per_stratum(self):
+        p = 4
+        block_nnz = np.full((p, p), 10.0)
+        base = dsgd_epoch_time(block_nnz, [10.0] * p)
+        with_barrier = dsgd_epoch_time(block_nnz, [10.0] * p, barrier_cost=0.5)
+        assert with_barrier == pytest.approx(base + p * 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dsgd_epoch_time(np.ones((2, 3)), [1.0, 1.0])
+        with pytest.raises(ValueError):
+            dsgd_epoch_time(np.ones((2, 2)), [1.0, 0.0])
+        with pytest.raises(ValueError):
+            dsgd_epoch_time(np.ones((2, 2)), [1.0, 1.0], barrier_cost=-1)

@@ -1,0 +1,111 @@
+"""Unit tests for the FPSGD baseline: block grid + free-block scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import NETFLIX
+from repro.mf.fpsgd import FPSGD, BlockGrid, BlockScheduler
+
+
+class TestBlockGrid:
+    def test_blocks_cover_everything(self, small_ratings):
+        grid = BlockGrid(small_ratings, nb=4)
+        assert grid.total_nnz() == small_ratings.nnz
+        assert len(grid.blocks) == 16
+
+    def test_block_entries_in_band(self, small_ratings):
+        nb = 3
+        grid = BlockGrid(small_ratings, nb=nb)
+        row_edges = np.linspace(0, small_ratings.m, nb + 1).astype(int)
+        col_edges = np.linspace(0, small_ratings.n, nb + 1).astype(int)
+        for b in grid.blocks:
+            if b.nnz == 0:
+                continue
+            sub = small_ratings.take(b.entries)
+            assert sub.rows.min() >= row_edges[b.row_band]
+            assert sub.rows.max() < row_edges[b.row_band + 1]
+            assert sub.cols.min() >= col_edges[b.col_band]
+            assert sub.cols.max() < col_edges[b.col_band + 1]
+
+    def test_block_lookup(self, small_ratings):
+        grid = BlockGrid(small_ratings, nb=2)
+        b = grid.block(1, 0)
+        assert (b.row_band, b.col_band) == (1, 0)
+
+    def test_entries_disjoint(self, small_ratings):
+        grid = BlockGrid(small_ratings, nb=4)
+        all_entries = np.concatenate([b.entries for b in grid.blocks])
+        assert len(np.unique(all_entries)) == small_ratings.nnz
+
+    def test_invalid_nb(self, small_ratings):
+        with pytest.raises(ValueError):
+            BlockGrid(small_ratings, nb=0)
+
+
+class TestBlockScheduler:
+    def test_epoch_processes_each_block_once(self, small_ratings, rng):
+        grid = BlockGrid(small_ratings, nb=4)
+        sched = BlockScheduler(grid, rng)
+        rounds = sched.epoch_rounds(threads=3)
+        processed = [b for rnd in rounds for b in rnd]
+        assert len(processed) == 16
+        keys = {(b.row_band, b.col_band) for b in processed}
+        assert len(keys) == 16
+
+    def test_rounds_are_conflict_free(self, small_ratings, rng):
+        """FPSGD's core invariant: blocks scheduled concurrently never
+        share a row band or a column band."""
+        grid = BlockGrid(small_ratings, nb=5)
+        sched = BlockScheduler(grid, rng)
+        for rnd in sched.epoch_rounds(threads=4):
+            rows = [b.row_band for b in rnd]
+            cols = [b.col_band for b in rnd]
+            assert len(set(rows)) == len(rows)
+            assert len(set(cols)) == len(cols)
+
+    def test_round_width_bounded_by_threads(self, small_ratings, rng):
+        grid = BlockGrid(small_ratings, nb=6)
+        sched = BlockScheduler(grid, rng)
+        for rnd in sched.epoch_rounds(threads=2):
+            assert len(rnd) <= 2
+
+    def test_fairness_across_epochs(self, small_ratings, rng):
+        grid = BlockGrid(small_ratings, nb=3)
+        sched = BlockScheduler(grid, rng)
+        for _ in range(4):
+            sched.epoch_rounds(threads=2)
+        assert np.all(sched.processed == 4)
+
+
+class TestFPSGDTraining:
+    def test_converges(self, small_ratings):
+        f = FPSGD(k=8, threads=3, lr=0.01, reg=0.01, seed=0)
+        f.fit(small_ratings, epochs=6)
+        assert f.history.rmse[-1] < f.history.rmse[0]
+
+    def test_grid_size_follows_threads(self, small_ratings):
+        f = FPSGD(k=4, threads=5, seed=0)
+        f.fit(small_ratings, epochs=1)
+        # (threads + 1)^2 blocks per the FPSGD design
+        assert f.history.epochs == 1
+
+    def test_thread_count_changes_schedule_not_quality(self, small_ratings):
+        # more threads -> a finer block grid -> smaller effective batches;
+        # convergence must survive either way and stay in the same regime
+        a = FPSGD(k=8, threads=2, lr=0.01, seed=0)
+        b = FPSGD(k=8, threads=6, lr=0.01, seed=0)
+        a.fit(small_ratings, epochs=5)
+        b.fit(small_ratings, epochs=5)
+        assert a.history.rmse[-1] < a.history.rmse[0]
+        assert b.history.rmse[-1] < b.history.rmse[0]
+        assert abs(a.history.rmse[-1] - b.history.rmse[-1]) < 0.15
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            FPSGD(k=4, threads=0)
+
+    def test_history_lengths(self, small_ratings):
+        f = FPSGD(k=4, threads=2, seed=0)
+        f.fit(small_ratings, epochs=3)
+        assert len(f.history.rmse) == 3
+        assert len(f.history.train_mse) == 3

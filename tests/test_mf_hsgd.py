@@ -1,0 +1,60 @@
+"""Unit tests for the HSGD single-CPU/GPU hybrid baseline."""
+
+import numpy as np
+import pytest
+
+from repro.mf.hsgd import HSGD
+
+
+class TestHSGD:
+    def test_converges(self, small_ratings):
+        h = HSGD(k=8, lr=0.01, reg=0.01, seed=0)
+        h.fit(small_ratings, epochs=5)
+        assert h.history.rmse[-1] < h.history.rmse[0]
+
+    def test_gpu_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            HSGD(k=4, gpu_fraction=0.0)
+        with pytest.raises(ValueError):
+            HSGD(k=4, gpu_fraction=1.0)
+
+    def test_split_respected(self, small_ratings):
+        """Different gpu_fraction -> different training dynamics but the
+        same convergence class."""
+        a = HSGD(k=8, gpu_fraction=0.25, lr=0.01, seed=0)
+        b = HSGD(k=8, gpu_fraction=0.9, lr=0.01, seed=0)
+        a.fit(small_ratings, epochs=5)
+        b.fit(small_ratings, epochs=5)
+        assert a.history.rmse[-1] < a.history.rmse[0]
+        assert b.history.rmse[-1] < b.history.rmse[0]
+        assert abs(a.history.rmse[-1] - b.history.rmse[-1]) < 0.2
+
+    def test_deterministic(self, small_ratings):
+        a = HSGD(k=4, lr=0.01, seed=7)
+        b = HSGD(k=4, lr=0.01, seed=7)
+        a.fit(small_ratings, epochs=3)
+        b.fit(small_ratings, epochs=3)
+        assert a.history.rmse == b.history.rmse
+
+    def test_comparable_to_hcc(self, medium_ratings):
+        """HSGD (2 workers, static split) should land in the same
+        convergence regime as the other trainers."""
+        from repro.mf.sgd import HogwildSGD
+
+        h = HSGD(k=8, lr=0.01, seed=1)
+        h.fit(medium_ratings, epochs=6)
+        ref = HogwildSGD(k=8, lr=0.01, seed=1)
+        ref.fit(medium_ratings, epochs=6)
+        assert abs(h.history.rmse[-1] - ref.history.rmse[-1]) < 0.15
+
+    def test_parameters_finite(self, small_ratings):
+        h = HSGD(k=8, lr=0.02, seed=0)
+        h.fit(small_ratings, epochs=6)
+        assert np.all(np.isfinite(h.model.P))
+        assert np.all(np.isfinite(h.model.Q))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HSGD(k=0)
+        with pytest.raises(ValueError):
+            HSGD(k=4, cpu_threads=0)

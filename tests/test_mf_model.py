@@ -1,0 +1,96 @@
+"""Unit tests for the MFModel factor container."""
+
+import numpy as np
+import pytest
+
+from repro.data.ratings import RatingMatrix
+from repro.mf.model import MFModel
+
+
+class TestConstruction:
+    def test_shapes(self):
+        m = MFModel(np.zeros((4, 3)), np.zeros((3, 5)))
+        assert (m.m, m.n, m.k) == (4, 5, 3)
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            MFModel(np.zeros((4, 3)), np.zeros((2, 5)))
+
+    def test_dtype_coerced(self):
+        m = MFModel(np.zeros((2, 2), dtype=np.float64), np.zeros((2, 2)))
+        assert m.P.dtype == np.float32
+        assert m.Q.dtype == np.float32
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            MFModel(np.zeros(4), np.zeros((1, 4)))
+
+    def test_no_copy_for_contiguous_float32(self):
+        """Workers rely on MFModel aliasing the shared P buffer."""
+        p = np.zeros((4, 3), dtype=np.float32)
+        q = np.zeros((3, 5), dtype=np.float32)
+        m = MFModel(p, q)
+        assert m.P is p
+        assert m.Q is q
+
+    def test_feature_bytes(self):
+        m = MFModel(np.zeros((4, 3), dtype=np.float32), np.zeros((3, 5), dtype=np.float32))
+        assert m.feature_bytes == 4 * (4 * 3 + 3 * 5)
+
+
+class TestInit:
+    def test_initial_predictions_near_mean(self):
+        m = MFModel.init(200, 100, 16, mean_rating=3.5, seed=0)
+        rows = np.arange(200).repeat(2) % 200
+        cols = np.arange(400) % 100
+        preds = m.predict(rows, cols)
+        assert abs(preds.mean() - 3.5) < 0.5
+
+    def test_deterministic(self):
+        a = MFModel.init(10, 10, 4, seed=3)
+        b = MFModel.init(10, 10, 4, seed=3)
+        np.testing.assert_array_equal(a.P, b.P)
+
+    def test_init_for_uses_dataset_mean(self, tiny_ratings):
+        m = MFModel.init_for(tiny_ratings, 4, seed=0)
+        pred = m.predict(tiny_ratings.rows, tiny_ratings.cols)
+        assert abs(pred.mean() - tiny_ratings.mean_rating()) < 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MFModel.init(10, 10, 0)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            MFModel.init(10, 10, 4, mean_rating=0.0)
+
+
+class TestPredictAndRmse:
+    def test_predict_matches_matmul(self):
+        m = MFModel.init(6, 5, 3, seed=1)
+        dense = m.predict_dense()
+        rows = np.array([0, 2, 5])
+        cols = np.array([1, 4, 0])
+        np.testing.assert_allclose(m.predict(rows, cols), dense[rows, cols], rtol=1e-5)
+
+    def test_rmse_zero_for_exact_factors(self):
+        p = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32)
+        q = np.array([[2.0, 3.0], [4.0, 5.0]], dtype=np.float32)
+        m = MFModel(p, q)
+        r = RatingMatrix.from_dense(p @ q)
+        assert m.rmse(r) == pytest.approx(0.0, abs=1e-6)
+
+    def test_rmse_known_value(self):
+        m = MFModel(np.ones((1, 1), dtype=np.float32), np.ones((1, 1), dtype=np.float32))
+        r = RatingMatrix(1, 1, [0], [0], [3.0])  # prediction 1.0, error 2.0
+        assert m.rmse(r) == pytest.approx(2.0)
+
+    def test_rmse_empty_ratings(self):
+        m = MFModel.init(3, 3, 2)
+        assert m.rmse(RatingMatrix(3, 3, [], [], [])) == 0.0
+
+    def test_copy_is_deep(self):
+        m = MFModel.init(3, 3, 2, seed=0)
+        c = m.copy()
+        c.P[0, 0] = 99.0
+        assert m.P[0, 0] != 99.0

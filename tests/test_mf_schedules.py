@@ -1,0 +1,102 @@
+"""Unit tests for learning-rate schedules."""
+
+import pytest
+
+from repro.mf.schedules import (
+    BoldDriver,
+    ConstantLR,
+    ExponentialDecay,
+    InverseTimeDecay,
+)
+from repro.mf.sgd import HogwildSGD
+
+
+class TestConstant:
+    def test_flat(self):
+        s = ConstantLR(0.01)
+        assert s(0) == s(100) == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+        with pytest.raises(ValueError):
+            ConstantLR(0.01)(-1)
+
+
+class TestInverseTime:
+    def test_decays(self):
+        s = InverseTimeDecay(0.1, decay=0.5)
+        assert s(0) == pytest.approx(0.1)
+        assert s(2) == pytest.approx(0.1 / 2.0)
+        assert s(10) < s(5) < s(0)
+
+    def test_zero_decay_is_constant(self):
+        s = InverseTimeDecay(0.1, decay=0.0)
+        assert s(50) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InverseTimeDecay(0.0)
+        with pytest.raises(ValueError):
+            InverseTimeDecay(0.1, decay=-1)
+
+
+class TestExponential:
+    def test_geometric(self):
+        s = ExponentialDecay(0.2, gamma=0.5)
+        assert s(0) == pytest.approx(0.2)
+        assert s(3) == pytest.approx(0.2 * 0.125)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.1, gamma=1.5)
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.1, gamma=0.0)
+
+
+class TestBoldDriver:
+    def test_grows_on_improvement(self):
+        s = BoldDriver(0.1, grow=1.1, shrink=0.5)
+        s.observe(1.0)
+        s.observe(0.9)  # improved
+        assert s(2) == pytest.approx(0.11)
+
+    def test_shrinks_on_regression(self):
+        s = BoldDriver(0.1, grow=1.1, shrink=0.5)
+        s.observe(1.0)
+        s.observe(1.2)  # worse
+        assert s(2) == pytest.approx(0.05)
+
+    def test_first_observation_neutral(self):
+        s = BoldDriver(0.1)
+        s.observe(5.0)
+        assert s(1) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoldDriver(0.0)
+        with pytest.raises(ValueError):
+            BoldDriver(0.1, grow=0.9)
+        with pytest.raises(ValueError):
+            BoldDriver(0.1, shrink=1.0)
+
+
+class TestTrainerIntegration:
+    def test_decay_schedule_in_hogwild(self, small_ratings):
+        h = HogwildSGD(k=8, seed=0, lr_schedule=InverseTimeDecay(0.02, 0.3))
+        h.fit(small_ratings, epochs=6)
+        assert h.history.rmse[-1] < h.history.rmse[0]
+
+    def test_bold_driver_observed(self, small_ratings):
+        driver = BoldDriver(0.01)
+        h = HogwildSGD(k=8, seed=0, lr_schedule=driver)
+        h.fit(small_ratings, epochs=5)
+        # convergence improved every epoch, so the rate must have grown
+        assert driver.lr > 0.01
+
+    def test_schedule_beats_none_rarely_diverges(self, small_ratings):
+        plain = HogwildSGD(k=8, lr=0.02, seed=0)
+        decayed = HogwildSGD(k=8, seed=0, lr_schedule=ExponentialDecay(0.02, 0.9))
+        plain.fit(small_ratings, epochs=8)
+        decayed.fit(small_ratings, epochs=8)
+        assert decayed.history.rmse[-1] < decayed.history.rmse[0]

@@ -1,0 +1,71 @@
+"""Unit tests for hyper-parameter grid search."""
+
+import pytest
+
+from repro.mf.search import SearchReport, SearchSpace, grid_search
+
+
+class TestSearchSpace:
+    def test_combinations_cartesian(self):
+        space = SearchSpace(k=(4, 8), lr=(0.01,), reg=(0.01, 0.1))
+        combos = space.combinations()
+        assert len(combos) == 4
+        assert {"k": 8, "lr": 0.01, "reg": 0.1} in combos
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchSpace(k=())
+        with pytest.raises(ValueError):
+            SearchSpace(k=(0,))
+        with pytest.raises(ValueError):
+            SearchSpace(lr=(-0.1,))
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.data.datasets import NETFLIX
+
+        data = NETFLIX.scaled(10_000).generate(seed=6)
+        space = SearchSpace(k=(4, 8), lr=(0.005, 0.02), reg=(0.01,))
+        return grid_search(data, space, epochs=6, seed=6)
+
+    def test_all_candidates_evaluated(self, report):
+        assert isinstance(report, SearchReport)
+        assert len(report.results) == 4
+
+    def test_sorted_by_validation_rmse(self, report):
+        rmses = [r.val_rmse for r in report.results]
+        assert rmses == sorted(rmses)
+        assert report.best.val_rmse == rmses[0]
+
+    def test_histories_recorded(self, report):
+        for r in report.results:
+            assert len(r.history) == r.epochs_run
+            assert r.epochs_run <= 6
+
+    def test_top_n(self, report):
+        assert len(report.top(2)) == 2
+        assert report.top(2)[0] is report.best
+
+    def test_bigger_lr_learns_faster_here(self, report):
+        """On this short budget, lr=0.02 candidates beat lr=0.005."""
+        best_lr = report.best.params["lr"]
+        assert best_lr == 0.02
+
+    def test_random_subsample(self):
+        from repro.data.datasets import NETFLIX
+
+        data = NETFLIX.scaled(6_000).generate(seed=6)
+        space = SearchSpace(k=(4, 8), lr=(0.005, 0.01, 0.02), reg=(0.01, 0.1))
+        report = grid_search(data, space, epochs=3, max_candidates=5, seed=0)
+        assert len(report.results) == 5
+
+    def test_validation_errors(self):
+        from repro.data.datasets import NETFLIX
+
+        data = NETFLIX.scaled(4_000).generate(seed=0)
+        with pytest.raises(ValueError):
+            grid_search(data, epochs=0)
+        with pytest.raises(ValueError):
+            grid_search(data, val_fraction=1.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the SerialSGD and HogwildSGD trainers."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import NETFLIX
+from repro.mf.kernels import ConflictPolicy
+from repro.mf.sgd import HogwildSGD, SerialSGD, TrainHistory
+
+
+class TestTrainHistory:
+    def test_record_and_final(self):
+        h = TrainHistory()
+        h.record(1.0, 1.1)
+        h.record(0.8, 0.9)
+        assert h.epochs == 2
+        assert h.final_rmse == 0.8
+        assert h.rmse == [1.0, 0.8]
+
+    def test_final_requires_epochs(self):
+        with pytest.raises(ValueError):
+            TrainHistory().final_rmse
+
+    def test_converged_detection(self):
+        h = TrainHistory()
+        for v in [1.0, 0.5, 0.4, 0.399, 0.3985, 0.3984]:
+            h.record(v, v)
+        assert h.converged(tol=0.01)
+        assert not h.converged(tol=1e-6)
+
+    def test_converged_needs_window(self):
+        h = TrainHistory()
+        h.record(1.0, 1.0)
+        assert not h.converged()
+
+
+class TestSerialSGD:
+    def test_converges_on_tiny(self, tiny_ratings):
+        s = SerialSGD(k=4, lr=0.02, reg=0.01, seed=0)
+        s.fit(tiny_ratings, epochs=8)
+        assert s.history.rmse[-1] < s.history.rmse[0]
+
+    def test_model_available(self, tiny_ratings):
+        s = SerialSGD(k=4, seed=0)
+        model = s.fit(tiny_ratings, epochs=2)
+        assert model is s.model
+        assert model.k == 4
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SerialSGD(k=0)
+
+
+class TestHogwildSGD:
+    def test_monotone_convergence(self, small_ratings):
+        h = HogwildSGD(k=8, lr=0.01, reg=0.01, seed=0)
+        h.fit(small_ratings, epochs=8)
+        r = h.history.rmse
+        assert r[-1] < r[0]
+        # no epoch should blow the loss up by more than a hair
+        assert all(b < a * 1.05 for a, b in zip(r, r[1:]))
+
+    def test_last_write_policy_converges(self, small_ratings):
+        h = HogwildSGD(k=8, lr=0.01, reg=0.01, seed=0,
+                       policy=ConflictPolicy.LAST_WRITE)
+        h.fit(small_ratings, epochs=8)
+        assert h.history.rmse[-1] < h.history.rmse[0]
+
+    def test_early_stop(self, small_ratings):
+        h = HogwildSGD(k=8, lr=0.02, reg=0.01, seed=0)
+        h.fit(small_ratings, epochs=200, early_stop_tol=0.05)
+        assert h.history.epochs < 200
+
+    def test_eval_data_used(self, small_ratings):
+        train, test = small_ratings.split(0.2, seed=0)
+        h = HogwildSGD(k=8, lr=0.01, reg=0.01, seed=0)
+        h.fit(train, epochs=5, eval_data=test)
+        assert len(h.history.rmse) == 5
+
+    def test_deterministic(self, small_ratings):
+        a = HogwildSGD(k=8, lr=0.01, seed=4)
+        b = HogwildSGD(k=8, lr=0.01, seed=4)
+        a.fit(small_ratings, epochs=3)
+        b.fit(small_ratings, epochs=3)
+        assert a.history.rmse == b.history.rmse
+
+    def test_seed_matters(self, small_ratings):
+        a = HogwildSGD(k=8, lr=0.01, seed=4)
+        b = HogwildSGD(k=8, lr=0.01, seed=5)
+        a.fit(small_ratings, epochs=3)
+        b.fit(small_ratings, epochs=3)
+        assert a.history.rmse != b.history.rmse
+
+    def test_regularization_limits_norms(self, small_ratings):
+        free = HogwildSGD(k=8, lr=0.01, reg=0.0, seed=0)
+        reg = HogwildSGD(k=8, lr=0.01, reg=0.5, seed=0)
+        free.fit(small_ratings, epochs=10)
+        reg.fit(small_ratings, epochs=10)
+        assert np.linalg.norm(reg.model.P) < np.linalg.norm(free.model.P)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            HogwildSGD(k=4, batch_size=0)
+
+    def test_yahoo_scale_converges(self):
+        """The 0-100 rating scale must also train stably."""
+        from repro.data.datasets import YAHOO_R1
+
+        r = YAHOO_R1.scaled(8000).generate(seed=2)
+        h = HogwildSGD(k=8, lr=0.002, reg=1.0, seed=0)
+        h.fit(r, epochs=8)
+        assert h.history.rmse[-1] < h.history.rmse[0]
+        assert np.isfinite(h.history.rmse[-1])

@@ -1,0 +1,62 @@
+"""Integration tests for the multi-process shared-memory trainer.
+
+These spawn real OS processes; sizes are kept small so the whole module
+runs in a few seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import NETFLIX
+from repro.parallel.executor import SharedMemoryTrainer
+
+
+@pytest.fixture(scope="module")
+def data():
+    return NETFLIX.scaled(6000).generate(seed=4)
+
+
+class TestSharedMemoryTrainer:
+    def test_converges_with_two_workers(self, data):
+        trainer = SharedMemoryTrainer(data, k=8, n_workers=2, lr=0.01, seed=0)
+        res = trainer.train(epochs=4)
+        assert len(res.rmse_history) == 4
+        assert res.rmse_history[-1] < res.rmse_history[0]
+        assert np.all(np.isfinite(res.model.P))
+
+    def test_single_worker(self, data):
+        trainer = SharedMemoryTrainer(data, k=8, n_workers=1, lr=0.01, seed=0)
+        res = trainer.train(epochs=2)
+        assert res.rmse_history[-1] < res.rmse_history[0]
+
+    def test_custom_fractions(self, data):
+        trainer = SharedMemoryTrainer(
+            data, k=8, n_workers=2, lr=0.01, fractions=[0.3, 0.7], seed=0
+        )
+        res = trainer.train(epochs=2)
+        assert res.n_workers == 2
+        assert res.updates_per_second > 0
+
+    def test_worker_failure_raises_cleanly(self, data):
+        """Fault injection: a crashed worker must surface as a clear
+        error, not a hang, and shared memory must be reclaimed (the
+        next run succeeds)."""
+        bad = SharedMemoryTrainer(
+            data, k=8, n_workers=2, lr=0.01, seed=0, fail_worker_at=(1, 1)
+        )
+        with pytest.raises(RuntimeError, match="worker process failed"):
+            bad.train(epochs=3)
+        # recovery: fresh trainer works
+        ok = SharedMemoryTrainer(data, k=8, n_workers=2, lr=0.01, seed=0)
+        res = ok.train(epochs=2)
+        assert len(res.rmse_history) == 2
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            SharedMemoryTrainer(data, n_workers=0)
+        with pytest.raises(ValueError):
+            SharedMemoryTrainer(data, n_workers=2, fractions=[1.0])
+        with pytest.raises(ValueError):
+            SharedMemoryTrainer(data, k=0)
+        with pytest.raises(ValueError):
+            SharedMemoryTrainer(data).train(epochs=0)

@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import compress_fp16, decompress_fp16, wire_bytes
+from repro.core.partition import dp0, dp2, even_partition, exposed_sync_time
+from repro.data.grid import GridKind, coverage_check, partition_rows
+from repro.data.ratings import RatingMatrix
+from repro.hardware.streams import pipeline_schedule
+from repro.mf.kernels import ConflictPolicy, sgd_batch_update
+from repro.mf.model import MFModel
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def rating_matrices(draw, max_m=40, max_n=30, max_nnz=200):
+    m = draw(st.integers(2, max_m))
+    n = draw(st.integers(2, max_n))
+    nnz = draw(st.integers(1, min(max_nnz, m * n)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    flat = rng.choice(m * n, size=nnz, replace=False)
+    vals = rng.uniform(1.0, 5.0, size=nnz).astype(np.float32)
+    return RatingMatrix(m, n, flat // n, flat % n, vals)
+
+
+@st.composite
+def fraction_vectors(draw, max_len=6):
+    length = draw(st.integers(1, max_len))
+    raw = draw(
+        st.lists(st.floats(0.01, 10.0, allow_nan=False), min_size=length, max_size=length)
+    )
+    total = sum(raw)
+    return [v / total for v in raw]
+
+
+# ---------------------------------------------------------------------------
+# partition properties
+# ---------------------------------------------------------------------------
+class TestPartitionProperties:
+    @given(times=st.lists(st.floats(0.01, 1e3), min_size=1, max_size=8))
+    def test_dp0_on_simplex(self, times):
+        plan = dp0(times)
+        fr = np.asarray(plan.fractions)
+        assert abs(fr.sum() - 1.0) < 1e-9
+        assert np.all(fr > 0)
+
+    @given(times=st.lists(st.floats(0.01, 1e3), min_size=2, max_size=8))
+    def test_dp0_faster_worker_gets_more(self, times):
+        plan = dp0(times)
+        for i in range(len(times)):
+            for j in range(len(times)):
+                if times[i] < times[j]:  # i is strictly faster
+                    assert plan.fractions[i] >= plan.fractions[j]
+
+    @given(times=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=8))
+    def test_dp0_equalizes_predicted_times(self, times):
+        plan = dp0(times)
+        pred = np.asarray(plan.predicted_times)
+        assert np.allclose(pred, pred[0], rtol=1e-9)
+
+    @given(
+        base_times=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=6),
+        tsync=st.floats(0.0, 1.0),
+    )
+    def test_dp2_on_simplex(self, base_times, tsync):
+        p = len(base_times)
+        base = dp0([1.0] * p)
+        base = type(base)("dp1", base.fractions, tuple(base_times))
+        plan = dp2(base, tsync)
+        fr = np.asarray(plan.fractions)
+        assert abs(fr.sum() - 1.0) < 1e-9
+        assert np.all(fr >= 0)
+
+    @given(
+        finishes=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=10),
+        tsync=st.floats(0.0, 5.0),
+    )
+    def test_exposed_sync_bounds(self, finishes, tsync):
+        exposed = exposed_sync_time(finishes, tsync)
+        # at least one merge is always exposed; at most all serialize
+        assert tsync - 1e-9 <= exposed <= len(finishes) * tsync + 1e-9
+
+    @given(n=st.integers(1, 16))
+    def test_even_partition_uniform(self, n):
+        plan = even_partition(n)
+        assert len(set(plan.fractions)) == 1
+
+
+# ---------------------------------------------------------------------------
+# grid properties
+# ---------------------------------------------------------------------------
+class TestGridProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ratings=rating_matrices(), fractions=fraction_vectors())
+    def test_row_partition_is_exact_cover(self, ratings, fractions):
+        parts = partition_rows(ratings, fractions, GridKind.ROW)
+        assert coverage_check(ratings, parts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ratings=rating_matrices(), fractions=fraction_vectors())
+    def test_row_partition_ranges_tile_axis(self, ratings, fractions):
+        parts = partition_rows(ratings, fractions, GridKind.ROW)
+        assert parts[0].lo == 0
+        assert parts[-1].hi == ratings.m
+        for a, b in zip(parts, parts[1:]):
+            assert a.hi == b.lo
+
+    @settings(max_examples=40, deadline=None)
+    @given(ratings=rating_matrices(), fractions=fraction_vectors())
+    def test_row_exclusivity(self, ratings, fractions):
+        """No two workers ever share a user row (Strategy 1's invariant)."""
+        parts = partition_rows(ratings, fractions, GridKind.ROW)
+        seen: set[int] = set()
+        for p in parts:
+            rows = set(np.unique(ratings.rows[p.entries]).tolist())
+            assert not rows & seen
+            seen |= rows
+
+
+# ---------------------------------------------------------------------------
+# compression properties
+# ---------------------------------------------------------------------------
+class TestCompressionProperties:
+    @given(
+        values=st.lists(
+            st.floats(-16384.0, 16384.0, allow_nan=False, width=32),
+            min_size=1, max_size=200,
+        )
+    )
+    def test_roundtrip_always_finite(self, values):
+        arr = np.asarray(values, dtype=np.float32)
+        back = decompress_fp16(compress_fp16(arr))
+        assert np.all(np.isfinite(back))
+
+    @given(
+        values=st.lists(
+            st.floats(0.0078125, 128.0, allow_nan=False, width=32),
+            min_size=1, max_size=200,
+        )
+    )
+    def test_relative_error_bound(self, values):
+        arr = np.asarray(values, dtype=np.float32)
+        back = decompress_fp16(compress_fp16(arr)).astype(np.float64)
+        rel = np.abs(back - arr.astype(np.float64)) / np.abs(arr.astype(np.float64))
+        assert np.max(rel) <= 2.0**-11 * (1 + 1e-6)
+
+    @given(n=st.integers(0, 10_000), fp16=st.booleans())
+    def test_wire_bytes_halving(self, n, fp16):
+        assert wire_bytes(n, fp16) == n * (2 if fp16 else 4)
+
+
+# ---------------------------------------------------------------------------
+# pipeline properties
+# ---------------------------------------------------------------------------
+class TestPipelineProperties:
+    @given(
+        pull=st.floats(0.0, 10.0),
+        comp=st.floats(0.0, 10.0),
+        push=st.floats(0.0, 10.0),
+        streams=st.integers(1, 8),
+        engines=st.sampled_from([1, 2]),
+    )
+    def test_epoch_time_bounds(self, pull, comp, push, streams, engines):
+        res = pipeline_schedule(pull, comp, push, streams, engines)
+        total = pull + comp + push
+        # never faster than any single resource, never slower than serial
+        assert res.epoch_time >= max(pull, comp, push) - 1e-9
+        assert res.epoch_time <= total + 1e-9
+
+    @given(
+        pull=st.floats(0.01, 10.0),
+        comp=st.floats(0.01, 10.0),
+        push=st.floats(0.01, 10.0),
+        streams=st.integers(1, 8),
+    )
+    def test_phase_work_conserved(self, pull, comp, push, streams):
+        res = pipeline_schedule(pull, comp, push, streams)
+        from repro.hardware.timeline import Phase
+
+        by_phase = {Phase.PULL: 0.0, Phase.COMPUTE: 0.0, Phase.PUSH: 0.0}
+        for s in res.spans:
+            by_phase[s.phase] += s.duration
+        assert by_phase[Phase.PULL] == np.float64(pull).item() or abs(by_phase[Phase.PULL] - pull) < 1e-9
+        assert abs(by_phase[Phase.COMPUTE] - comp) < 1e-9
+        assert abs(by_phase[Phase.PUSH] - push) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# SGD kernel properties
+# ---------------------------------------------------------------------------
+class TestKernelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(ratings=rating_matrices(max_nnz=100), policy=st.sampled_from(list(ConflictPolicy)))
+    def test_update_keeps_parameters_finite(self, ratings, policy):
+        model = MFModel.init_for(ratings, 4, seed=0)
+        sgd_batch_update(
+            model, ratings.rows, ratings.cols, ratings.vals,
+            lr=0.01, reg=0.01, policy=policy,
+        )
+        assert np.all(np.isfinite(model.P))
+        assert np.all(np.isfinite(model.Q))
+
+    @settings(max_examples=25, deadline=None)
+    @given(ratings=rating_matrices(max_nnz=100))
+    def test_zero_lr_is_noop(self, ratings):
+        model = MFModel.init_for(ratings, 4, seed=0)
+        p0, q0 = model.P.copy(), model.Q.copy()
+        sgd_batch_update(model, ratings.rows, ratings.cols, ratings.vals, 0.0, 0.5)
+        np.testing.assert_array_equal(model.P, p0)
+        np.testing.assert_array_equal(model.Q, q0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ratings=rating_matrices(max_nnz=60), seed=st.integers(0, 1000))
+    def test_rmse_never_negative(self, ratings, seed):
+        model = MFModel.init_for(ratings, 3, seed=seed)
+        assert model.rmse(ratings) >= 0.0

@@ -1,0 +1,119 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveRepartitioner
+from repro.core.convergence import epochs_to_target, fit_exponential
+from repro.hardware.energy import processor_energy
+from repro.hardware.processor import Processor
+from repro.hardware.specs import RTX_2080S, XEON_6242
+from repro.mf.schedules import BoldDriver, ExponentialDecay, InverseTimeDecay
+
+
+class TestScheduleProperties:
+    @given(
+        lr0=st.floats(1e-5, 1.0),
+        decay=st.floats(0.0, 5.0),
+        e1=st.integers(0, 500),
+        e2=st.integers(0, 500),
+    )
+    def test_inverse_time_monotone(self, lr0, decay, e1, e2):
+        s = InverseTimeDecay(lr0, decay)
+        lo, hi = sorted((e1, e2))
+        assert s(hi) <= s(lo) + 1e-12
+        assert 0 < s(hi) <= lr0
+
+    @given(
+        lr0=st.floats(1e-5, 1.0),
+        gamma=st.floats(0.01, 1.0, exclude_min=True),
+        epoch=st.integers(0, 200),
+    )
+    def test_exponential_bounded(self, lr0, gamma, epoch):
+        s = ExponentialDecay(lr0, gamma)
+        # tiny gamma at large epochs underflows to exactly 0.0 (a no-op
+        # learning rate), which is still within bounds
+        assert 0 <= s(epoch) <= lr0 * (1 + 1e-12)
+
+    @given(losses=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=30))
+    def test_bold_driver_stays_positive(self, losses):
+        s = BoldDriver(0.1, grow=1.05, shrink=0.5)
+        for loss in losses:
+            s.observe(loss)
+            assert s(0) > 0
+
+
+class TestAdaptiveProperties:
+    @given(
+        times=st.lists(st.floats(0.1, 100.0), min_size=2, max_size=8),
+    )
+    def test_repartition_stays_on_simplex(self, times):
+        n = len(times)
+        c = AdaptiveRepartitioner([1.0 / n] * n, imbalance_threshold=0.01,
+                                  cooldown_epochs=0)
+        new = c.observe(times)
+        if new is not None:
+            assert abs(new.sum() - 1.0) < 1e-9
+            assert np.all(new > 0)
+
+    @given(
+        times=st.lists(st.floats(0.1, 100.0), min_size=2, max_size=8),
+    )
+    def test_repartition_equalizes_under_frozen_rates(self, times):
+        n = len(times)
+        x0 = np.full(n, 1.0 / n)
+        c = AdaptiveRepartitioner(x0, imbalance_threshold=0.01, cooldown_epochs=0)
+        new = c.observe(times)
+        if new is None:
+            return
+        rates = x0 / np.asarray(times)
+        predicted = new / rates
+        assert np.allclose(predicted, predicted[0], rtol=1e-9)
+
+
+class TestEnergyProperties:
+    @given(
+        busy=st.floats(0.0, 100.0),
+        extra=st.floats(0.0, 100.0),
+        idle_fraction=st.floats(0.0, 1.0),
+    )
+    def test_energy_bounds(self, busy, extra, idle_fraction):
+        total = busy + extra
+        p = Processor(RTX_2080S)
+        j = processor_energy(p, busy, total, idle_fraction)
+        tdp = p.spec.tdp_watts
+        assert idle_fraction * tdp * total - 1e-9 <= j <= tdp * total + 1e-9
+
+    @given(busy=st.floats(0.0, 50.0), total=st.floats(50.0, 100.0))
+    def test_busier_costs_more(self, busy, total):
+        p = Processor(XEON_6242)
+        j_low = processor_energy(p, busy, total)
+        j_high = processor_energy(p, min(busy + 10, total), total)
+        assert j_high >= j_low - 1e-9
+
+
+class TestConvergenceProperties:
+    @given(
+        start=st.floats(0.5, 5.0),
+        drop=st.floats(0.01, 0.9),
+        length=st.integers(2, 30),
+    )
+    def test_epochs_to_target_monotone_in_target(self, start, drop, length):
+        curve = [start * (1 - drop) ** i for i in range(length)]
+        hard = epochs_to_target(curve, curve[-1])
+        easy = epochs_to_target(curve, curve[0])
+        assert easy <= hard
+
+    @given(
+        floor=st.floats(0.1, 2.0),
+        amplitude=st.floats(0.1, 2.0),
+        tau=st.floats(1.0, 10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fit_recovers_floor_within_tolerance(self, floor, amplitude, tau):
+        epochs = np.arange(1, 25)
+        curve = floor + amplitude * np.exp(-(epochs - 1) / tau)
+        fit = fit_exponential(curve)
+        assert abs(fit.floor - floor) < 0.1 * (floor + amplitude)
+        assert fit.residual < 0.05 * (floor + amplitude)
