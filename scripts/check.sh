@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Pre-PR gate: hcclint + ruff + mypy + tier-1 pytest.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the pytest stage (lint/type gates only)
+#
+# ruff and mypy are part of the dev extra (pip install -e ".[dev]"); when
+# they are not installed the stage is reported as SKIPPED rather than
+# failing, so the gate still runs on minimal containers.  hcclint and
+# pytest have no extra dependencies and always run.
+
+set -u
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+failures=0
+
+stage() {  # stage <name> <command...>
+    local name="$1"; shift
+    echo "== $name =="
+    if "$@"; then
+        echo "-- $name: OK"
+    else
+        echo "-- $name: FAILED"
+        failures=$((failures + 1))
+    fi
+    echo
+}
+
+skipped() {
+    echo "== $1 =="
+    echo "-- $1: SKIPPED ($2)"
+    echo
+}
+
+# 1. hcclint: the domain rules (docs/static_analysis.md)
+stage "hcclint" python -m repro lint src
+
+# 2. race-check: dynamic P-row ownership + one-copy discipline proof
+stage "race-check" python -m repro race-check --inject-overlap
+
+# 3. ruff (style/pyflakes), if installed
+if command -v ruff >/dev/null 2>&1; then
+    stage "ruff" ruff check src tests
+elif python -c "import ruff" >/dev/null 2>&1; then
+    stage "ruff" python -m ruff check src tests
+else
+    skipped "ruff" "not installed; pip install -e '.[dev]'"
+fi
+
+# 4. mypy (types), if installed
+if command -v mypy >/dev/null 2>&1; then
+    stage "mypy" mypy
+elif python -c "import mypy" >/dev/null 2>&1; then
+    stage "mypy" python -m mypy
+else
+    skipped "mypy" "not installed; pip install -e '.[dev]'"
+fi
+
+# 5. tier-1 tests
+if [ "$fast" -eq 1 ]; then
+    skipped "pytest" "--fast"
+else
+    stage "pytest" python -m pytest -x -q
+fi
+
+if [ "$failures" -gt 0 ]; then
+    echo "check.sh: $failures stage(s) FAILED"
+    exit 1
+fi
+echo "check.sh: all stages passed"

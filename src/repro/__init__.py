@@ -22,6 +22,8 @@ Subpackages:
 * :mod:`repro.data` — rating matrices, synthetic datasets, grids.
 * :mod:`repro.parallel` — real shared-memory multi-process execution.
 * :mod:`repro.experiments` — regenerates every paper table and figure.
+* :mod:`repro.analysis` — hcclint static analysis + dynamic race
+  detection for the framework's concurrency and cost-model invariants.
 """
 
 from repro.core import (

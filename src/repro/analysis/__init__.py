@@ -1,0 +1,59 @@
+"""Static analysis and dynamic race detection for HCC-MF invariants.
+
+Two halves, both guarding properties the paper only *assumes*:
+
+* :mod:`repro.analysis.lint` — **hcclint**, an AST-based lint framework
+  with domain rules for the concurrency and cost-model invariants
+  (shared-memory lifecycle, hot-path allocation, FP32 kernel hygiene,
+  P/Q ownership, worker-loop blocking, bytes-vs-seconds unit mixing).
+* :mod:`repro.analysis.race` — a dynamic race / ownership detector that
+  replays the pull/train/push/sync epoch structure against a
+  vector-clock access log and flags cross-worker P-row overlap or
+  violations of the one-copy buffer discipline (paper section 3.4/3.5).
+
+Entry points: ``repro lint`` and ``repro race-check`` on the CLI, or
+:func:`lint_paths` / :func:`race_check` from Python.
+"""
+
+from repro.analysis.lint import (
+    FileContext,
+    LintIssue,
+    Rule,
+    Severity,
+    all_rules,
+    lint_paths,
+    lint_source,
+    max_severity,
+)
+from repro.analysis.race import (
+    Access,
+    RaceLog,
+    RaceReport,
+    RaceViolation,
+    attach_to_server,
+    check_row_ownership,
+    race_check,
+    tracked_train,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Access",
+    "FileContext",
+    "LintIssue",
+    "RaceLog",
+    "RaceReport",
+    "RaceViolation",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "attach_to_server",
+    "check_row_ownership",
+    "lint_paths",
+    "lint_source",
+    "max_severity",
+    "race_check",
+    "render_json",
+    "render_text",
+    "tracked_train",
+]

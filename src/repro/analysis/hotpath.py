@@ -1,0 +1,105 @@
+"""Module classification for the hcclint domain rules.
+
+Rules apply to different slices of the codebase: the per-sample SGD hot
+paths, the FP32 kernel code, the worker/server loop modules, the
+cost-model formula modules, and the set of modules allowed to mutate
+the P/Q feature matrices directly.  Membership is keyed on the
+repo-relative module path (``repro/mf/kernels.py``), so the linter
+classifies files the same way regardless of the working directory.
+
+Functions outside these modules can opt into the hot-path rules with a
+``# hcclint: hot-path`` comment on (or directly above) their ``def``
+line.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Per-sample / per-batch SGD code: allocation there multiplies by nnz.
+HOT_PATH_MODULES = frozenset(
+    {
+        "repro/core/worker.py",
+        "repro/mf/kernels.py",
+        "repro/parallel/executor.py",
+    }
+)
+
+#: FP32 training kernels (paper 3.4: FP32 compute, FP16 wire): silent
+#: float64 promotion doubles bandwidth and hides precision assumptions.
+KERNEL_MODULES = frozenset(
+    {
+        "repro/mf/kernels.py",
+        "repro/mf/model.py",
+        "repro/core/compression.py",
+    }
+)
+
+#: Worker/server loop bodies: a blocking call here stalls an epoch.
+WORKER_LOOP_MODULES = frozenset(
+    {
+        "repro/core/worker.py",
+        "repro/core/server.py",
+        "repro/parallel/executor.py",
+    }
+)
+
+#: Eq. 1-7 formula code, where bytes and seconds must never be added.
+COST_MODEL_MODULES = frozenset(
+    {
+        "repro/core/comm.py",
+        "repro/core/cost_model.py",
+        "repro/hardware/specs.py",
+    }
+)
+
+#: Modules allowed to write P/Q directly: the SGD kernels and trainers
+#: (``repro/mf/``) plus the server/framework/executor sync paths.
+PQ_OWNER_PREFIXES = ("repro/mf/",)
+PQ_OWNER_MODULES = frozenset(
+    {
+        "repro/core/server.py",
+        "repro/core/framework.py",
+        "repro/core/checkpoint.py",
+        "repro/parallel/executor.py",
+    }
+)
+
+HOT_MARKER_RE = re.compile(r"#\s*hcclint:\s*hot-path\b")
+
+
+def module_key(path: str) -> str:
+    """Repo-relative module key: the path from the ``repro/`` package root.
+
+    Falls back to the bare filename for paths outside the package (test
+    fixtures, scratch files), which keeps every scoped rule inert there
+    unless the file opts in via marker comments.
+    """
+    posix = path.replace("\\", "/")
+    marker = "/repro/"
+    idx = posix.rfind(marker)
+    if idx >= 0:
+        return "repro/" + posix[idx + len(marker):]
+    if posix.startswith("repro/"):
+        return posix
+    return posix.rsplit("/", 1)[-1]
+
+
+def is_hot_module(key: str) -> bool:
+    return key in HOT_PATH_MODULES
+
+
+def is_kernel_module(key: str) -> bool:
+    return key in KERNEL_MODULES
+
+
+def is_worker_loop_module(key: str) -> bool:
+    return key in WORKER_LOOP_MODULES
+
+
+def is_cost_model_module(key: str) -> bool:
+    return key in COST_MODEL_MODULES
+
+
+def is_pq_owner_module(key: str) -> bool:
+    return key in PQ_OWNER_MODULES or key.startswith(PQ_OWNER_PREFIXES)

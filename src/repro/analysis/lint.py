@@ -1,0 +1,254 @@
+"""hcclint: the AST lint framework (rule registry, suppression, runner).
+
+A :class:`Rule` inspects one parsed file (:class:`FileContext`) and
+yields :class:`LintIssue` records.  Rules register themselves with the
+:func:`rule` decorator; the runner applies every registered rule to
+every file and drops issues suppressed by comment:
+
+* ``# hcclint: disable=hot-copy`` on a line suppresses the named
+  rule(s) for that line (comma-separate to suppress several; rule ids
+  like ``HCC102`` work too, and ``all`` suppresses everything);
+* ``# hcclint: disable-file=frozen-dataclass`` anywhere in the file
+  suppresses the rule(s) for the whole file.
+
+Suppression is deliberately explicit — a disabled rule leaves a visible
+audit trail next to the code it excuses, which is the point: the lint
+encodes paper invariants (section 3.4/3.5, Eq. 1-7), and every exception
+should say why the invariant still holds.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import os
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.analysis.hotpath import HOT_MARKER_RE, is_hot_module, module_key
+
+
+class Severity(enum.IntEnum):
+    """Issue severity; the CLI fails on >= WARNING by default."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r} (expected info, warning or error)"
+            ) from None
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: where, which rule, how bad, and why."""
+
+    rule: str
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*hcclint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_\-, ]+)"
+)
+
+
+class FileContext:
+    """One parsed source file plus everything rules need to scope checks."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.module = module_key(path)
+        self._line_disable: dict[int, set[str]] = {}
+        self._file_disable: set[str] = set()
+        self._scan_suppressions()
+        self._functions: list[ast.AST] | None = None
+
+    # -- suppressions --------------------------------------------------
+    def _scan_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(text)
+            if not m:
+                continue
+            names = {n.strip().lower() for n in m.group(2).split(",") if n.strip()}
+            if m.group(1) == "disable-file":
+                self._file_disable |= names
+            else:
+                # a comment-only line suppresses the line below it (the
+                # eslint-disable-next-line idiom); a trailing comment
+                # suppresses its own line
+                target = lineno + 1 if text.lstrip().startswith("#") else lineno
+                self._line_disable.setdefault(target, set()).update(names)
+
+    def is_suppressed(self, rule_name: str, rule_id: str, line: int) -> bool:
+        keys = {rule_name.lower(), rule_id.lower(), "all"}
+        if keys & self._file_disable:
+            return True
+        return bool(keys & self._line_disable.get(line, set()))
+
+    # -- function scoping ----------------------------------------------
+    def iter_functions(self) -> Iterator[ast.AST]:
+        """Every function/method definition in the file."""
+        if self._functions is None:
+            self._functions = [
+                node
+                for node in ast.walk(self.tree)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+        return iter(self._functions)
+
+    def function_is_hot(self, node: ast.AST) -> bool:
+        """Hot iff the module is a hot path or the def carries a marker."""
+        if is_hot_module(self.module):
+            return True
+        for lineno in (node.lineno, node.lineno - 1):
+            if 1 <= lineno <= len(self.lines) and HOT_MARKER_RE.search(
+                self.lines[lineno - 1]
+            ):
+                return True
+        return False
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` (``HCCnnn``), ``name`` (the slug used in
+    suppression comments), ``severity``, and ``rationale`` (the paper
+    invariant the rule protects — surfaced by ``repro lint --rules``).
+    """
+
+    rule_id = "HCC000"
+    name = "abstract-rule"
+    severity = Severity.WARNING
+    rationale = ""
+
+    def check(self, ctx: FileContext) -> Iterator[LintIssue]:  # pragma: no cover
+        raise NotImplementedError
+
+    def issue(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: Severity | None = None,
+    ) -> LintIssue:
+        return LintIssue(
+            rule=self.name,
+            rule_id=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(cls: type) -> type:
+    """Class decorator: instantiate and register a rule."""
+    instance = cls()
+    for existing in _REGISTRY.values():
+        if existing.rule_id == instance.rule_id:
+            raise ValueError(f"duplicate rule id {instance.rule_id}")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, importing the built-in rule set on first use."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return sorted(_REGISTRY.values(), key=lambda r: r.rule_id)
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[LintIssue]:
+    """Lint one source string (`path` drives module-scoped rules)."""
+    chosen = list(rules) if rules is not None else all_rules()
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return [
+            LintIssue(
+                rule="parse-error",
+                rule_id="HCC000",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    issues: list[LintIssue] = []
+    for r in chosen:
+        for issue in r.check(ctx):
+            if not ctx.is_suppressed(issue.rule, issue.rule_id, issue.line):
+                issues.append(issue)
+    return sorted(issues, key=LintIssue.sort_key)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in {"__pycache__", ".git", ".ruff_cache"}
+                )
+                for fname in sorted(files):
+                    if fname.endswith(".py"):
+                        yield os.path.join(root, fname)
+        elif path.endswith(".py") or os.path.isfile(path):
+            yield path
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule] | None = None,
+    on_file: Callable[[str], None] | None = None,
+) -> list[LintIssue]:
+    """Lint every ``.py`` file under ``paths``; issues sorted by location."""
+    issues: list[LintIssue] = []
+    for fpath in iter_python_files(paths):
+        if on_file is not None:
+            on_file(fpath)
+        with open(fpath, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        issues.extend(lint_source(source, fpath, rules))
+    return sorted(issues, key=LintIssue.sort_key)
+
+
+def max_severity(issues: Iterable[LintIssue]) -> Severity | None:
+    """Highest severity present, or None for a clean run."""
+    worst: Severity | None = None
+    for issue in issues:
+        if worst is None or issue.severity > worst:
+            worst = issue.severity
+    return worst

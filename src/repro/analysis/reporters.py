@@ -1,0 +1,75 @@
+"""Output formats for hcclint findings (text for humans, JSON for CI)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.analysis.lint import LintIssue, Rule, Severity
+
+_SEVERITY_TAG = {
+    Severity.INFO: "info",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def render_text(issues: Sequence[LintIssue]) -> str:
+    """``path:line:col: severity RULEID (slug): message`` lines + summary."""
+    lines = [
+        f"{i.path}:{i.line}:{i.col}: {_SEVERITY_TAG[i.severity]} "
+        f"{i.rule_id} ({i.rule}): {i.message}"
+        for i in issues
+    ]
+    lines.append(summary_line(issues))
+    return "\n".join(lines)
+
+
+def summary_line(issues: Iterable[LintIssue]) -> str:
+    counts = Counter(i.severity for i in issues)
+    total = sum(counts.values())
+    if total == 0:
+        return "hcclint: clean (0 issues)"
+    parts = [
+        f"{counts[sev]} {_SEVERITY_TAG[sev]}{'s' if counts[sev] != 1 else ''}"
+        for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        if counts[sev]
+    ]
+    return f"hcclint: {total} issue{'s' if total != 1 else ''} ({', '.join(parts)})"
+
+
+def render_json(issues: Sequence[LintIssue]) -> str:
+    counts = Counter(i.severity for i in issues)
+    payload = {
+        "issues": [
+            {
+                "rule": i.rule,
+                "rule_id": i.rule_id,
+                "severity": _SEVERITY_TAG[i.severity],
+                "path": i.path,
+                "line": i.line,
+                "col": i.col,
+                "message": i.message,
+            }
+            for i in issues
+        ],
+        "summary": {
+            "total": len(issues),
+            "errors": counts[Severity.ERROR],
+            "warnings": counts[Severity.WARNING],
+            "infos": counts[Severity.INFO],
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rules(rules: Sequence[Rule]) -> str:
+    """Rule catalogue for ``repro lint --rules``."""
+    blocks = []
+    for r in rules:
+        blocks.append(
+            f"{r.rule_id} {r.name} [{_SEVERITY_TAG[Severity(r.severity)]}]\n"
+            f"    {r.rationale}"
+        )
+    return "\n".join(blocks)

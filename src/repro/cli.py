@@ -19,6 +19,11 @@ Commands
     Regenerate paper tables/figures (all, or selected ids).
 ``ablate``
     Run the ablation sweeps (all, or selected ids).
+``lint``
+    Run hcclint, the domain static analyzer, over source paths.
+``race-check``
+    Prove the P-row ownership and one-copy buffer invariants with the
+    dynamic race detector (DP0/DP1/DP2 plans, optional injected bug).
 """
 
 from __future__ import annotations
@@ -178,6 +183,44 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import Severity, all_rules, lint_paths
+    from repro.analysis.reporters import render_json, render_rules, render_text
+
+    if args.rules:
+        print(render_rules(all_rules()))
+        return 0
+    paths = args.paths or ["src"]
+    threshold = Severity.parse(args.min_severity)
+    try:
+        issues = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_json(issues) if args.json else render_text(issues))
+    return 1 if any(i.severity >= threshold for i in issues) else 0
+
+
+def _cmd_race_check(args: argparse.Namespace) -> int:
+    from repro.analysis.race import race_check
+
+    if args.inject_overlap and args.workers < 2:
+        print(
+            "note: --inject-overlap needs at least 2 workers; "
+            "skipping the detector self-test",
+            file=sys.stderr,
+        )
+    result = race_check(
+        n_workers=args.workers,
+        nnz=args.nnz,
+        epochs=args.epochs,
+        seed=args.seed,
+        with_injected_overlap=args.inject_overlap,
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,6 +270,28 @@ def build_parser() -> argparse.ArgumentParser:
     abl = sub.add_parser("ablate", help="run ablation sweeps")
     abl.add_argument("ids", nargs="*", help="ablation ids (default: all)")
 
+    lint = sub.add_parser("lint", help="run the hcclint domain static analyzer")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument("--rules", action="store_true",
+                      help="list the rule catalogue and exit")
+    lint.add_argument("--min-severity", default="warning",
+                      choices=["info", "warning", "error"],
+                      help="lowest severity that fails the run (default: warning)")
+
+    race = sub.add_parser(
+        "race-check",
+        help="prove P-row ownership + one-copy discipline dynamically",
+    )
+    race.add_argument("--workers", type=int, default=3)
+    race.add_argument("--nnz", type=int, default=2000, help="synthetic scale")
+    race.add_argument("--epochs", type=int, default=2)
+    race.add_argument("--seed", type=int, default=0)
+    race.add_argument("--inject-overlap", action="store_true",
+                      help="also run a deliberately corrupted plan and "
+                           "require the detector to catch it")
+
     return parser
 
 
@@ -238,6 +303,8 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "reproduce": _cmd_reproduce,
     "ablate": _cmd_ablate,
+    "lint": _cmd_lint,
+    "race-check": _cmd_race_check,
 }
 
 

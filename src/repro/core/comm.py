@@ -22,6 +22,7 @@ Two responsibilities:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -131,6 +132,14 @@ class CommModel:
 # ---------------------------------------------------------------------------
 # real buffers (used by the in-process and shared-memory executors)
 # ---------------------------------------------------------------------------
+#: Observer signature for buffer instrumentation: ``(op, worker)`` where
+#: ``op`` is "deposit" / "read" / "consume" and ``worker`` is the acting
+#: worker id when known (None means the server side).  The race detector
+#: (:mod:`repro.analysis.race`) attaches observers to prove the one-copy
+#: discipline at test time; ``None`` (the default) costs nothing.
+BufferObserver = Callable[[str, "int | None"], None]
+
+
 class PullBuffer:
     """Server-side buffer that workers map and read (one copy to fill).
 
@@ -139,12 +148,18 @@ class PullBuffer:
     count on the server side is exactly one.
     """
 
-    def __init__(self, shape: tuple[int, ...], fp16: bool = False):
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        fp16: bool = False,
+        observer: BufferObserver | None = None,
+    ):
         self.fp16 = fp16
         dtype = np.float16 if fp16 else np.float32
         self._buf = np.zeros(shape, dtype=dtype)
         self.copies_in = 0
         self.reads = 0
+        self.observer = observer
 
     @property
     def nbytes(self) -> int:
@@ -159,10 +174,14 @@ class PullBuffer:
         else:
             np.copyto(self._buf, values.astype(np.float32, copy=False))
         self.copies_in += 1
+        if self.observer is not None:
+            self.observer("deposit", None)
 
-    def read(self) -> np.ndarray:
+    def read(self, worker: int | None = None) -> np.ndarray:
         """Worker view of the buffer contents, decompressed to FP32."""
         self.reads += 1
+        if self.observer is not None:
+            self.observer("read", worker)
         if self.fp16:
             return decompress_fp16(self._buf)
         return self._buf.copy()
@@ -175,12 +194,20 @@ class PushBuffer:
     it in place during sync (no further copy).
     """
 
-    def __init__(self, shape: tuple[int, ...], fp16: bool = False):
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        fp16: bool = False,
+        worker_id: int | None = None,
+        observer: BufferObserver | None = None,
+    ):
         self.fp16 = fp16
         dtype = np.float16 if fp16 else np.float32
         self._buf = np.zeros(shape, dtype=dtype)
         self.copies_in = 0
         self.consumed = 0
+        self.worker_id = worker_id
+        self.observer = observer
 
     @property
     def nbytes(self) -> int:
@@ -194,10 +221,14 @@ class PushBuffer:
         else:
             np.copyto(self._buf, values.astype(np.float32, copy=False))
         self.copies_in += 1
+        if self.observer is not None:
+            self.observer("deposit", self.worker_id)
 
     def consume(self) -> np.ndarray:
         """Server-side view for the sync merge (FP32)."""
         self.consumed += 1
+        if self.observer is not None:
+            self.observer("consume", None)
         if self.fp16:
             return decompress_fp16(self._buf)
         return self._buf  # in-place consumption: zero-copy

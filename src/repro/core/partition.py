@@ -60,6 +60,18 @@ class PartitionPlan:
             return float("inf")
         return float((t.max() - t.min()) / t.min())
 
+    def materialize(self, ratings, kind=None):
+        """Turn fractions into concrete per-worker grid assignments.
+
+        Convenience bridge to :func:`repro.data.grid.partition_rows` so
+        callers (the framework, the race detector) can go straight from
+        a plan to the row ranges whose disjointness Strategy 1 needs.
+        Returns one ``GridAssignment`` per worker.
+        """
+        from repro.data.grid import partition_rows
+
+        return partition_rows(ratings, self.fractions, kind)
+
 
 def _normalize(x: np.ndarray) -> np.ndarray:
     x = np.maximum(np.asarray(x, dtype=np.float64), 0.0)

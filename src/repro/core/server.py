@@ -41,7 +41,8 @@ class ParameterServer:
         self.fp16_wire = fp16_wire
         self.pull_buffer = PullBuffer(model.Q.shape, fp16=fp16_wire)
         self.push_buffers = [
-            PushBuffer(model.Q.shape, fp16=fp16_wire) for _ in range(n_workers)
+            PushBuffer(model.Q.shape, fp16=fp16_wire, worker_id=i)
+            for i in range(n_workers)
         ]
         self._q_base: np.ndarray | None = None
         self.sync_count = 0
@@ -54,15 +55,17 @@ class ParameterServer:
         self.pull_buffer.deposit(self.model.Q)
         self.epochs_started += 1
 
-    def pull(self) -> np.ndarray:
+    def pull(self, worker: int | None = None) -> np.ndarray:
         """A worker's pull: the epoch-base global Q (FP32).
 
         When the wire is FP16 the returned matrix has gone through the
         compress/decompress round-trip, exactly what a worker would see.
+        ``worker`` attributes the read when the buffer is instrumented
+        (see :func:`repro.analysis.race.attach_to_server`).
         """
         if self._q_base is None:
             raise RuntimeError("pull before begin_epoch")
-        return self.pull_buffer.read()
+        return self.pull_buffer.read(worker=worker)
 
     def push_and_sync(self, worker_id: int, q_local: np.ndarray, weight: float) -> None:
         """A worker's push followed by the server's merge.

@@ -100,7 +100,7 @@ def sgd_batch_update(
     P, Q = model.P, model.Q
     p = P[rows]                       # (b, k) gather
     q = Q[:, cols].T                  # (b, k) gather
-    err = (vals - np.einsum("ij,ij->i", p, q)).astype(np.float32)
+    err = (vals - np.einsum("ij,ij->i", p, q)).astype(np.float32, copy=False)
 
     dp = lr * (err[:, None] * q - reg * p)
     dq = lr * (err[:, None] * p - reg * q)
@@ -113,8 +113,8 @@ def sgd_batch_update(
         # duplicates is the convergent serializable approximation.
         row_counts = np.bincount(rows, minlength=P.shape[0])[rows]
         col_counts = np.bincount(cols, minlength=Q.shape[1])[cols]
-        _scatter_add(P, rows, (dp / row_counts[:, None]).astype(np.float32))
-        _scatter_add(Q.T, cols, (dq / col_counts[:, None]).astype(np.float32))
+        _scatter_add(P, rows, (dp / row_counts[:, None]).astype(np.float32, copy=False))
+        _scatter_add(Q.T, cols, (dq / col_counts[:, None]).astype(np.float32, copy=False))
     elif policy is ConflictPolicy.LAST_WRITE:
         # duplicate indices: NumPy fancy assignment keeps the last
         # occurrence, exactly the lost-update behaviour of unsynchronized
@@ -124,6 +124,9 @@ def sgd_batch_update(
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown policy {policy}")
 
+    # loss reduction deliberately widens: summing b float32 squares loses
+    # precision, and the result never feeds back into the FP32 model
+    # hcclint: disable=kernel-promotion
     return float(np.mean(np.square(err, dtype=np.float64))) if len(err) else 0.0
 
 
@@ -171,8 +174,10 @@ def sgd_epoch_serial(
     total_sq = 0.0
     for i in range(ratings.nnz):
         r, c = int(ratings.rows[i]), int(ratings.cols[i])
-        p = P[r].copy()
-        q = Q[:, c].copy()
+        # validation-only serial recurrence (O(nnz*k) Python cost is the
+        # documented price); the copies pin the pre-update p_i, q_j pair
+        p = P[r].copy()  # hcclint: disable=hot-copy
+        q = Q[:, c].copy()  # hcclint: disable=hot-copy
         err = float(ratings.vals[i] - p @ q)
         P[r] = p + lr * (err * q - reg * p)
         Q[:, c] = q + lr * (err * p - reg * q)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import threading
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -80,18 +81,22 @@ def _worker_main(
     ``fail_at_epoch`` is a fault-injection hook for tests: the worker
     aborts its barrier (simulating a crash) at that epoch.
     """
-    p_shared = SharedArray.attach(p_spec)
-    pull_buf = SharedArray.attach(pull_spec)
-    push_buf = SharedArray.attach(push_spec)
     rng = np.random.default_rng(seed + 1000 * (worker_id + 1))
-    try:
+    # ExitStack closes every attached segment even if a later attach
+    # fails partway through (a bare attach-then-try would leak the
+    # earlier mappings on that path)
+    with ExitStack() as stack:
+        p_shared = stack.enter_context(SharedArray.attach(p_spec))
+        pull_buf = stack.enter_context(SharedArray.attach(pull_spec))
+        push_buf = stack.enter_context(SharedArray.attach(push_spec))
         n = len(vals)
         for epoch in range(epochs):
             if epoch == fail_at_epoch:
                 start_barrier.abort()
                 raise RuntimeError(f"injected failure in worker {worker_id}")
             start_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
-            # pull: one copy out of the shared pull buffer
+            # pull: the worker's single per-epoch copy out of the shared
+            # pull buffer (paper 3.5)  # hcclint: disable=hot-copy
             q_local = pull_buf.array.copy()
             model = MFModel(p_shared.array, q_local)
             order = rng.permutation(n)
@@ -104,10 +109,6 @@ def _worker_main(
             # push: one copy into this worker's shared push buffer
             np.copyto(push_buf.array, model.Q)
             end_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
-    finally:
-        p_shared.close()
-        pull_buf.close()
-        push_buf.close()
 
 
 class SharedMemoryTrainer:
@@ -144,6 +145,12 @@ class SharedMemoryTrainer:
         #: fault-injection hook for tests: (worker_id, epoch) that crashes
         self.fail_worker_at = fail_worker_at
 
+    @staticmethod
+    def _terminate_stragglers(procs: list[mp.process.BaseProcess]) -> None:
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - crash cleanup
+                proc.terminate()
+
     def train(self, epochs: int = 5) -> ParallelTrainResult:
         if epochs <= 0:
             raise ValueError("epochs must be positive")
@@ -155,16 +162,28 @@ class SharedMemoryTrainer:
         start_barrier = ctx.Barrier(self.n_workers + 1)
         end_barrier = ctx.Barrier(self.n_workers + 1)
 
-        p_shared = SharedArray.create(init.P.shape, "float32")
-        pull_buf = SharedArray.create(init.Q.shape, "float32")
-        push_bufs = [SharedArray.create(init.Q.shape, "float32") for _ in range(self.n_workers)]
-        np.copyto(p_shared.array, init.P)
-
+        # once-per-run server-side snapshot  # hcclint: disable=hot-copy
         model = MFModel(init.P.copy(), init.Q.copy())
         procs: list[mp.process.BaseProcess] = []
         history: list[float] = []
         t0 = time.perf_counter()
-        try:
+        # register each segment's unlink the moment it exists: if a later
+        # create (or anything else) raises, the earlier segments are
+        # still destroyed instead of leaking until reboot
+        with ExitStack() as stack:
+            p_shared = SharedArray.create(init.P.shape, "float32")
+            stack.callback(p_shared.unlink)
+            pull_buf = SharedArray.create(init.Q.shape, "float32")
+            stack.callback(pull_buf.unlink)
+            push_bufs: list[SharedArray] = []
+            for _ in range(self.n_workers):
+                buf = SharedArray.create(init.Q.shape, "float32")
+                stack.callback(buf.unlink)
+                push_bufs.append(buf)
+            np.copyto(p_shared.array, init.P)
+            # LIFO: registered last so stragglers die before any unlink
+            stack.callback(self._terminate_stragglers, procs)
+
             for wid, a in enumerate(assignments):
                 shard = a.extract(data).sort_by_row()
                 proc = ctx.Process(
@@ -194,6 +213,7 @@ class SharedMemoryTrainer:
                 procs.append(proc)
 
             for _ in range(epochs):
+                # per-epoch sync-base snapshot  # hcclint: disable=hot-copy
                 q_base = model.Q.copy()
                 np.copyto(pull_buf.array, model.Q)
                 try:
@@ -214,14 +234,6 @@ class SharedMemoryTrainer:
 
             for proc in procs:
                 proc.join(timeout=_BARRIER_TIMEOUT_S)
-        finally:
-            for proc in procs:
-                if proc.is_alive():  # pragma: no cover - crash cleanup
-                    proc.terminate()
-            p_shared.unlink()
-            pull_buf.unlink()
-            for buf in push_bufs:
-                buf.unlink()
         elapsed = time.perf_counter() - t0
         return ParallelTrainResult(
             rmse_history=history,

@@ -51,15 +51,31 @@ class SharedArray:
         if nbytes <= 0:
             raise ValueError("shared array must have positive size")
         shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
-        spec = SharedArraySpec(shm.name, tuple(int(s) for s in shape), spec_dtype)
-        arr = cls(shm, spec, owner=True)
-        arr.array[...] = 0
-        return arr
+        try:
+            spec = SharedArraySpec(shm.name, tuple(int(s) for s in shape), spec_dtype)
+            arr = cls(shm, spec, owner=True)
+            arr.array[...] = 0
+            return arr
+        except BaseException:
+            # a failure between creating the segment and handing
+            # ownership to the caller would leak it until reboot
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            raise
 
     @classmethod
     def attach(cls, spec: SharedArraySpec) -> "SharedArray":
         shm = shared_memory.SharedMemory(name=spec.name)
-        return cls(shm, spec, owner=False)
+        try:
+            return cls(shm, spec, owner=False)
+        except BaseException:
+            # e.g. a stale spec whose shape exceeds the real segment:
+            # drop this process's mapping before propagating
+            shm.close()
+            raise
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -1,0 +1,520 @@
+"""Tests for hcclint: the framework and every domain rule.
+
+Each rule gets a positive fixture (the violation fires), a negative
+fixture (clean code passes), and a suppression fixture (the violation
+is silenced by a ``# hcclint: disable=...`` comment).
+"""
+
+import json
+import textwrap
+
+from repro.analysis.lint import (
+    Severity,
+    all_rules,
+    lint_paths,
+    lint_source,
+    max_severity,
+)
+from repro.analysis.reporters import render_json, render_rules, render_text
+
+HOT = "src/repro/mf/kernels.py"          # hot path + kernel module
+WORKER = "src/repro/parallel/executor.py"  # hot path + worker loop
+COST = "src/repro/core/cost_model.py"    # cost-model module
+NEUTRAL = "src/repro/experiments/report.py"  # none of the above
+
+
+def issues_for(source, path=NEUTRAL, rule=None):
+    found = lint_source(textwrap.dedent(source), path)
+    if rule is not None:
+        found = [i for i in found if i.rule == rule]
+    return found
+
+
+class TestFramework:
+    def test_rule_registry_complete(self):
+        rules = all_rules()
+        ids = {r.rule_id for r in rules}
+        assert {"HCC101", "HCC102", "HCC103", "HCC104", "HCC105",
+                "HCC106", "HCC107", "HCC108", "HCC109"} <= ids
+        # ids and names are unique
+        assert len(ids) == len(rules)
+        assert len({r.name for r in rules}) == len(rules)
+        assert all(r.rationale for r in rules)
+
+    def test_syntax_error_is_reported_not_raised(self):
+        issues = lint_source("def broken(:\n    pass\n", "bad.py")
+        assert len(issues) == 1
+        assert issues[0].rule == "parse-error"
+        assert issues[0].severity is Severity.ERROR
+
+    def test_clean_file_has_no_issues(self):
+        assert issues_for("x = 1\n") == []
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        issues = issues_for("def f(a=[]):\n    return a\n")
+        assert max_severity(issues) is Severity.ERROR
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("def f(a=[]):\n    return a\n")
+        (tmp_path / "pkg" / "data.txt").write_text("not python")
+        issues = lint_paths([str(tmp_path)])
+        assert [i.rule for i in issues] == ["mutable-default"]
+
+    def test_suppression_by_rule_id(self):
+        src = "def f(a=[]):  # hcclint: disable=HCC105\n    return a\n"
+        assert issues_for(src) == []
+
+    def test_suppression_all(self):
+        src = "def f(a=[]):  # hcclint: disable=all\n    return a\n"
+        assert issues_for(src) == []
+
+    def test_file_level_suppression(self):
+        src = (
+            "# hcclint: disable-file=mutable-default\n"
+            "def f(a=[]):\n    return a\n"
+            "def g(b={}):\n    return b\n"
+        )
+        assert issues_for(src) == []
+
+    def test_comment_only_line_suppresses_next_line(self):
+        src = (
+            "# hcclint: disable=mutable-default\n"
+            "def f(a=[]):\n    return a\n"
+        )
+        assert issues_for(src) == []
+
+    def test_suppression_is_line_scoped(self):
+        src = (
+            "def f(a=[]):  # hcclint: disable=mutable-default\n    return a\n"
+            "def g(b=[]):\n    return b\n"
+        )
+        issues = issues_for(src, rule="mutable-default")
+        assert len(issues) == 1
+        assert issues[0].line == 3
+
+
+class TestReporters:
+    def test_text_output(self):
+        issues = issues_for("def f(a=[]):\n    return a\n")
+        text = render_text(issues)
+        assert "HCC105" in text
+        assert "mutable-default" in text
+        assert "1 issue (1 error)" in text
+
+    def test_text_clean(self):
+        assert "clean" in render_text([])
+
+    def test_json_round_trip(self):
+        issues = issues_for("def f(a=[]):\n    return a\n")
+        payload = json.loads(render_json(issues))
+        assert payload["summary"]["errors"] == 1
+        assert payload["issues"][0]["rule_id"] == "HCC105"
+        assert payload["issues"][0]["line"] == 1
+
+    def test_rule_catalogue(self):
+        text = render_rules(all_rules())
+        assert "HCC101" in text and "shm-lifecycle" in text
+
+
+class TestShmLifecycle:
+    def test_unguarded_creation_flagged(self):
+        src = """
+        from multiprocessing import shared_memory
+
+        def leak(n):
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            return shm.name
+        """
+        issues = issues_for(src, rule="shm-lifecycle")
+        assert len(issues) == 1
+        assert issues[0].severity is Severity.ERROR
+
+    def test_try_finally_is_clean(self):
+        src = """
+        from multiprocessing import shared_memory
+
+        def ok(n):
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            try:
+                return bytes(shm.buf[:4])
+            finally:
+                shm.close()
+                shm.unlink()
+        """
+        assert issues_for(src, rule="shm-lifecycle") == []
+
+    def test_exitstack_is_clean(self):
+        src = """
+        def ok(stack, spec):
+            arr = stack.enter_context(SharedArray.attach(spec))
+            return arr.array.sum()
+        """
+        assert issues_for(src, rule="shm-lifecycle") == []
+
+    def test_callback_registration_is_clean(self):
+        src = """
+        def ok(stack, shape):
+            arr = SharedArray.create(shape)
+            stack.callback(arr.unlink)
+            return arr
+        """
+        assert issues_for(src, rule="shm-lifecycle") == []
+
+    def test_ownership_transfer_by_return_is_clean(self):
+        src = """
+        def factory(shape):
+            return SharedArray.create(shape)
+        """
+        assert issues_for(src, rule="shm-lifecycle") == []
+
+    def test_self_assignment_is_clean(self):
+        src = """
+        class Holder:
+            def __init__(self, n):
+                self._shm = shared_memory.SharedMemory(create=True, size=n)
+        """
+        assert issues_for(src, rule="shm-lifecycle") == []
+
+    def test_acquire_then_guard_try_is_clean(self):
+        src = """
+        def ok(n):
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            try:
+                arr = wrap(shm)
+                return arr
+            except BaseException:
+                shm.close()
+                shm.unlink()
+                raise
+        """
+        assert issues_for(src, rule="shm-lifecycle") == []
+
+    def test_suppression(self):
+        src = """
+        def leak(n):
+            shm = shared_memory.SharedMemory(create=True, size=n)  # hcclint: disable=shm-lifecycle
+            register_global(shm)
+        """
+        assert issues_for(src, rule="shm-lifecycle") == []
+
+
+class TestHotCopy:
+    def test_copy_in_hot_module_flagged(self):
+        src = """
+        def step(buf):
+            local = buf.copy()
+            return local
+        """
+        issues = issues_for(src, path=HOT, rule="hot-copy")
+        assert len(issues) == 1
+        assert ".copy()" in issues[0].message
+
+    def test_astype_without_copy_false_flagged(self):
+        src = """
+        def step(x, np):
+            return x.astype(np.float32)
+        """
+        assert len(issues_for(src, path=HOT, rule="hot-copy")) == 1
+
+    def test_astype_with_copy_false_clean(self):
+        src = """
+        def step(x, np):
+            return x.astype(np.float32, copy=False)
+        """
+        assert issues_for(src, path=HOT, rule="hot-copy") == []
+
+    def test_cold_module_not_flagged(self):
+        src = """
+        def report(buf):
+            return buf.copy()
+        """
+        assert issues_for(src, path=NEUTRAL, rule="hot-copy") == []
+
+    def test_hot_marker_opts_in_anywhere(self):
+        src = """
+        # hcclint: hot-path
+        def inner_loop(buf):
+            return buf.copy()
+        """
+        assert len(issues_for(src, path=NEUTRAL, rule="hot-copy")) == 1
+
+    def test_suppression(self):
+        src = """
+        def step(buf):
+            local = buf.copy()  # hcclint: disable=hot-copy
+            return local
+        """
+        assert issues_for(src, path=HOT, rule="hot-copy") == []
+
+    def test_gather_in_loop_is_info(self):
+        src = """
+        def step(data, batches):
+            for sel in batches:
+                yield data[sel]
+        """
+        issues = issues_for(src, path=HOT, rule="hot-gather")
+        assert len(issues) == 1
+        assert issues[0].severity is Severity.INFO
+
+
+class TestKernelPromotion:
+    def test_float64_attribute_flagged(self):
+        src = """
+        def accumulate(x, np):
+            return x.astype(np.float64, copy=False)
+        """
+        issues = issues_for(src, path=HOT, rule="kernel-promotion")
+        assert len(issues) == 1
+        assert issues[0].severity is Severity.ERROR
+
+    def test_dtype_string_flagged(self):
+        src = 'err = np.zeros(4, dtype="float64")\n'
+        assert len(issues_for(src, path=HOT, rule="kernel-promotion")) == 1
+
+    def test_dtype_builtin_float_flagged(self):
+        src = "err = np.zeros(4, dtype=float)\n"
+        assert len(issues_for(src, path=HOT, rule="kernel-promotion")) == 1
+
+    def test_float32_clean(self):
+        src = "err = np.zeros(4, dtype=np.float32)\n"
+        assert issues_for(src, path=HOT, rule="kernel-promotion") == []
+
+    def test_non_kernel_module_not_scoped(self):
+        src = "stats = np.zeros(4, dtype=np.float64)\n"
+        assert issues_for(src, path=COST, rule="kernel-promotion") == []
+
+    def test_suppression(self):
+        src = "loss = np.square(err, dtype=np.float64)  # hcclint: disable=kernel-promotion\n"
+        assert issues_for(src, path=HOT, rule="kernel-promotion") == []
+
+
+class TestFrozenDataclass:
+    def test_unfrozen_plan_flagged(self):
+        src = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class ShardPlan:
+            fractions: tuple
+        """
+        issues = issues_for(src, rule="frozen-dataclass")
+        assert len(issues) == 1
+        assert "ShardPlan" in issues[0].message
+
+    def test_dataclass_call_without_frozen_flagged(self):
+        src = """
+        from dataclasses import dataclass
+
+        @dataclass(eq=True)
+        class WireSpec:
+            nbytes: int
+        """
+        assert len(issues_for(src, rule="frozen-dataclass")) == 1
+
+    def test_frozen_clean(self):
+        src = """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class ShardPlan:
+            fractions: tuple
+        """
+        assert issues_for(src, rule="frozen-dataclass") == []
+
+    def test_other_names_exempt(self):
+        src = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class TrainResult:
+            rmse: float
+        """
+        assert issues_for(src, rule="frozen-dataclass") == []
+
+    def test_suppression(self):
+        src = """
+        from dataclasses import dataclass
+
+        # hcclint: disable=frozen-dataclass
+        @dataclass
+        class MutablePlan:
+            fractions: list
+        """
+        assert issues_for(src, rule="frozen-dataclass") == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        assert len(issues_for("def f(a=[]):\n    return a\n",
+                              rule="mutable-default")) == 1
+
+    def test_dict_call_default_flagged(self):
+        assert len(issues_for("def f(a=dict()):\n    return a\n",
+                              rule="mutable-default")) == 1
+
+    def test_kwonly_default_flagged(self):
+        assert len(issues_for("def f(*, a={}):\n    return a\n",
+                              rule="mutable-default")) == 1
+
+    def test_none_default_clean(self):
+        assert issues_for("def f(a=None):\n    return a or []\n",
+                          rule="mutable-default") == []
+
+    def test_tuple_default_clean(self):
+        assert issues_for("def f(a=()):\n    return a\n",
+                          rule="mutable-default") == []
+
+
+class TestPQMutation:
+    def test_assignment_outside_owners_flagged(self):
+        src = """
+        def tamper(model, rows):
+            model.P[rows] = 0.0
+        """
+        issues = issues_for(src, path=NEUTRAL, rule="pq-mutation")
+        assert len(issues) == 1
+        assert ".P" in issues[0].message
+
+    def test_augmented_q_flagged(self):
+        src = """
+        def tamper(model, delta):
+            model.Q += delta
+        """
+        assert len(issues_for(src, path=NEUTRAL, rule="pq-mutation")) == 1
+
+    def test_rebinding_attribute_flagged(self):
+        src = """
+        def tamper(model, new_p):
+            model.P = new_p
+        """
+        assert len(issues_for(src, path=NEUTRAL, rule="pq-mutation")) == 1
+
+    def test_read_access_clean(self):
+        src = """
+        def inspect(model):
+            return model.P.mean() + model.Q.mean()
+        """
+        assert issues_for(src, path=NEUTRAL, rule="pq-mutation") == []
+
+    def test_owner_module_exempt(self):
+        src = """
+        def merge(model, delta):
+            model.Q += delta
+        """
+        assert issues_for(src, path=HOT, rule="pq-mutation") == []
+
+    def test_suppression(self):
+        src = """
+        def tamper(model, delta):
+            model.Q += delta  # hcclint: disable=pq-mutation
+        """
+        assert issues_for(src, path=NEUTRAL, rule="pq-mutation") == []
+
+
+class TestBlockingCall:
+    def test_sleep_flagged(self):
+        src = """
+        import time
+
+        def loop(queue):
+            while True:
+                time.sleep(0.1)
+        """
+        issues = issues_for(src, path=WORKER, rule="blocking-call")
+        assert len(issues) == 1
+        assert issues[0].severity is Severity.ERROR
+
+    def test_join_without_timeout_flagged(self):
+        src = """
+        def reap(procs):
+            for proc in procs:
+                proc.join()
+        """
+        assert len(issues_for(src, path=WORKER, rule="blocking-call")) == 1
+
+    def test_join_with_timeout_clean(self):
+        src = """
+        def reap(procs):
+            for proc in procs:
+                proc.join(timeout=5.0)
+        """
+        assert issues_for(src, path=WORKER, rule="blocking-call") == []
+
+    def test_string_join_not_flagged(self):
+        src = """
+        def render(parts):
+            return ", ".join(parts)
+        """
+        assert issues_for(src, path=WORKER, rule="blocking-call") == []
+
+    def test_non_worker_module_exempt(self):
+        src = """
+        import time
+
+        def poll():
+            time.sleep(1)
+        """
+        assert issues_for(src, path=NEUTRAL, rule="blocking-call") == []
+
+    def test_suppression(self):
+        src = """
+        def loop(barrier):
+            barrier.wait()  # hcclint: disable=blocking-call
+        """
+        assert issues_for(src, path=WORKER, rule="blocking-call") == []
+
+
+class TestUnitMix:
+    def test_bytes_plus_seconds_flagged(self):
+        src = """
+        def epoch_total(pull_bytes, sync_time):
+            return pull_bytes + sync_time
+        """
+        issues = issues_for(src, path=COST, rule="unit-mix")
+        assert len(issues) == 1
+        assert "bytes" in issues[0].message and "seconds" in issues[0].message
+
+    def test_us_plus_seconds_flagged(self):
+        src = """
+        def total(latency_us, sync_time):
+            return latency_us + sync_time
+        """
+        assert len(issues_for(src, path=COST, rule="unit-mix")) == 1
+
+    def test_same_unit_clean(self):
+        src = """
+        def total(pull_time, push_time):
+            return pull_time + push_time
+        """
+        assert issues_for(src, path=COST, rule="unit-mix") == []
+
+    def test_converted_quantity_clean(self):
+        src = """
+        def total(nbytes, bandwidth, sync_time):
+            return nbytes / bandwidth + sync_time
+        """
+        assert issues_for(src, path=COST, rule="unit-mix") == []
+
+    def test_non_cost_module_exempt(self):
+        src = """
+        def total(pull_bytes, sync_time):
+            return pull_bytes + sync_time
+        """
+        assert issues_for(src, path=NEUTRAL, rule="unit-mix") == []
+
+    def test_suppression(self):
+        src = """
+        def total(pull_bytes, sync_time):
+            return pull_bytes + sync_time  # hcclint: disable=unit-mix
+        """
+        assert issues_for(src, path=COST, rule="unit-mix") == []
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_warnings_or_errors(self):
+        """The acceptance gate: `repro lint src/` must be clean."""
+        issues = lint_paths(["src"])
+        blockers = [i for i in issues if i.severity >= Severity.WARNING]
+        assert blockers == [], render_text(blockers)

@@ -22,6 +22,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--partition", "dp9"])
 
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == []
+        assert not args.json
+        assert args.min_severity == "warning"
+
+    def test_lint_bad_severity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--min-severity", "fatal"])
+
+    def test_race_check_defaults(self):
+        args = build_parser().parse_args(["race-check"])
+        assert args.workers == 3
+        assert not args.inject_overlap
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -100,3 +115,59 @@ class TestCommands:
     def test_ablate_unknown_id(self, capsys):
         assert main(["ablate", "nope"]) == 2
         assert "unknown ablation" in capsys.readouterr().err
+
+    def test_lint_src_is_clean(self, capsys):
+        """Acceptance gate: the shipped tree lints clean at the default
+        (warning) threshold."""
+        assert main(["lint", "src"]) == 0
+        assert "hcclint:" in capsys.readouterr().out
+
+    def test_lint_reports_violations(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "HCC105" in out and "mutable-default" in out
+
+    def test_lint_json_output(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        assert main(["lint", "--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        assert payload["issues"][0]["rule_id"] == "HCC105"
+
+    def test_lint_min_severity_gates_exit_code(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        assert main(["lint", "--min-severity", "error", str(bad)]) == 1
+        capsys.readouterr()
+        # a warning-level finding passes under --min-severity error
+        warn = tmp_path / "warn.py"
+        warn.write_text(
+            "from dataclasses import dataclass\n\n"
+            "@dataclass\nclass FooPlan:\n    x: int = 0\n"
+        )
+        assert main(["lint", "--min-severity", "error", str(warn)]) == 0
+
+    def test_lint_rule_catalogue(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "HCC101" in out and "shm-lifecycle" in out
+
+    def test_lint_missing_path(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+        assert capsys.readouterr().err
+
+    def test_race_check(self, capsys):
+        assert main(["race-check", "--workers", "2", "--nnz", "800",
+                     "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "race-check: PASS" in out
+
+    def test_race_check_inject_overlap(self, capsys):
+        assert main(["race-check", "--workers", "2", "--nnz", "800",
+                     "--epochs", "1", "--inject-overlap"]) == 0
+        out = capsys.readouterr().out
+        assert "injected overlap detected: yes" in out
+        assert "race-check: PASS" in out

@@ -65,3 +65,38 @@ class TestSharedArray:
         with SharedArray.create((3,), "float64") as arr:
             arr.array[:] = [1.5, 2.5, 3.5]
             np.testing.assert_array_equal(arr.array, [1.5, 2.5, 3.5])
+
+
+class TestLifecycleOnFailure:
+    """The leak paths hcclint HCC101 exists to prevent."""
+
+    def test_create_failure_unlinks_segment(self, monkeypatch):
+        """If create() fails after the OS segment exists, the segment
+        must not outlive the exception."""
+        import repro.parallel.shm as shm_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("spec construction failed")
+
+        monkeypatch.setattr(shm_mod, "SharedArraySpec", boom)
+        name = "repro-test-create-leak"
+        with pytest.raises(RuntimeError, match="spec construction"):
+            SharedArray.create((2, 2), "float32", name=name)
+        # the named segment must be gone, not leaked until reboot
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_attach_with_oversized_spec_fails_cleanly(self):
+        """A stale spec larger than the real segment raises, and the
+        owner can still tear the segment down afterwards."""
+        owner = SharedArray.create((2, 2), "float32")
+        try:
+            stale = SharedArraySpec(owner.spec.name, (100, 100), "float32")
+            with pytest.raises((TypeError, ValueError)):
+                SharedArray.attach(stale)
+        finally:
+            owner.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach(owner.spec)

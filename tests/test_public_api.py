@@ -33,6 +33,7 @@ class TestPublicAPI:
         for mod in (
             "repro.core", "repro.mf", "repro.data",
             "repro.hardware", "repro.parallel", "repro.experiments",
+            "repro.analysis",
         ):
             importlib.import_module(mod)
 
