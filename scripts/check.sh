@@ -45,8 +45,28 @@ skipped() {
 # 1. hcclint: the domain rules (docs/static_analysis.md)
 stage "hcclint" python -m repro lint src
 
+# 1b. hcclint over the telemetry plane alone (timing rules, HCC110)
+stage "hcclint-obs" python -m repro lint src/repro/obs
+
 # 2. race-check: dynamic P-row ownership + one-copy discipline proof
 stage "race-check" python -m repro race-check --inject-overlap
+
+# 2b. instrumented-run smoke: a tiny real training must produce a
+# loadable Chrome trace (the telemetry plane's end-to-end guarantee)
+obs_smoke() {
+    local tmpdir trace metrics
+    tmpdir="$(mktemp -d)" || return 1
+    trace="$tmpdir/run.json"
+    metrics="$tmpdir/run.jsonl"
+    python -m repro train --nnz 2000 --epochs 2 --k 8 \
+        --trace "$trace" --metrics "$metrics" \
+        && python -m repro obs-report --trace "$trace" --metrics "$metrics" \
+            > /dev/null
+    local rc=$?
+    rm -rf "$tmpdir"
+    return "$rc"
+}
+stage "obs-smoke" obs_smoke
 
 # 3. ruff (style/pyflakes), if installed
 if command -v ruff >/dev/null 2>&1; then

@@ -21,6 +21,8 @@ Subpackages:
 * :mod:`repro.hardware` — the calibrated multi-CPU/GPU platform model.
 * :mod:`repro.data` — rating matrices, synthetic datasets, grids.
 * :mod:`repro.parallel` — real shared-memory multi-process execution.
+* :mod:`repro.obs` — runtime telemetry: span tracing of real runs,
+  metrics registry, cost-model drift reports.
 * :mod:`repro.experiments` — regenerates every paper table and figure.
 * :mod:`repro.analysis` — hcclint static analysis + dynamic race
   detection for the framework's concurrency and cost-model invariants.
@@ -59,6 +61,7 @@ from repro.hardware import (
     single_processor,
 )
 from repro.mf import MFModel, HogwildSGD, FPSGD, CuMFSGD
+from repro.obs import Telemetry
 from repro.parallel import SharedMemoryTrainer
 
 __version__ = "1.0.0"
@@ -95,5 +98,6 @@ __all__ = [
     "FPSGD",
     "CuMFSGD",
     "SharedMemoryTrainer",
+    "Telemetry",
     "__version__",
 ]

@@ -65,6 +65,20 @@ PQ_OWNER_MODULES = frozenset(
     }
 )
 
+#: Timing / telemetry code, where wall-clock (``time.time``) timestamps
+#: are wrong: they jump under NTP slew, so spans can end before they
+#: start and cross-process timelines misalign.  ``time.perf_counter``
+#: is the system-wide monotonic base every span and probe must share.
+TIMING_MODULE_PREFIXES = ("repro/obs/",)
+TIMING_MODULES = frozenset(
+    {
+        "repro/hardware/profiler.py",
+        "repro/parallel/executor.py",
+        "repro/core/server.py",
+        "repro/core/worker.py",
+    }
+)
+
 HOT_MARKER_RE = re.compile(r"#\s*hcclint:\s*hot-path\b")
 
 
@@ -103,3 +117,7 @@ def is_cost_model_module(key: str) -> bool:
 
 def is_pq_owner_module(key: str) -> bool:
     return key in PQ_OWNER_MODULES or key.startswith(PQ_OWNER_PREFIXES)
+
+
+def is_timing_module(key: str) -> bool:
+    return key in TIMING_MODULES or key.startswith(TIMING_MODULE_PREFIXES)

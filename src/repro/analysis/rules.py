@@ -23,6 +23,9 @@ HCC108 unit-mix           cost-model formulas never add bytes to seconds
                           (Eq. 1-7 unit discipline)
 HCC109 hot-gather         advisory: fancy-index gathers inside hot loops
                           allocate per iteration
+HCC110 wall-clock         advisory: timing code uses time.perf_counter(),
+                          never time.time() (telemetry spans need one
+                          monotonic cross-process time base)
 ====== ================== ========================================================
 """
 
@@ -35,6 +38,7 @@ from repro.analysis.hotpath import (
     is_cost_model_module,
     is_kernel_module,
     is_pq_owner_module,
+    is_timing_module,
     is_worker_loop_module,
 )
 from repro.analysis.lint import FileContext, LintIssue, Rule, Severity, rule
@@ -615,3 +619,31 @@ class UnitMixRule(Rule):
         }:
             return "seconds"
         return None
+
+
+# ---------------------------------------------------------------------------
+# HCC110: wall-clock timestamps in timing code
+# ---------------------------------------------------------------------------
+@rule
+class WallClockRule(Rule):
+    rule_id = "HCC110"
+    name = "wall-clock"
+    severity = Severity.INFO
+    rationale = (
+        "Telemetry spans and probes are compared across processes, so they "
+        "need one monotonic time base.  time.time() jumps under NTP slew — "
+        "a span can end before it starts; time.perf_counter() is the "
+        "system-wide monotonic clock every timing module must share."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintIssue]:
+        if not is_timing_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _dotted(node.func) == "time.time":
+                yield self.issue(
+                    ctx,
+                    node,
+                    "time.time() is wall clock (non-monotonic); timing code "
+                    "must use time.perf_counter()",
+                )

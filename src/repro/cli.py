@@ -21,6 +21,9 @@ Commands
     Run the ablation sweeps (all, or selected ids).
 ``lint``
     Run hcclint, the domain static analyzer, over source paths.
+``obs-report``
+    Summarize an instrumented run offline from its ``--trace`` /
+    ``--metrics`` artifacts (ASCII Gantt, phase totals, metric values).
 ``race-check``
     Prove the P-row ownership and one-copy buffer invariants with the
     dynamic race detector (DP0/DP1/DP2 plans, optional injected bug).
@@ -67,6 +70,13 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.executor == "process":
+        return _train_process(args)
+    return _train_model(args)
+
+
+def _train_model(args: argparse.Namespace) -> int:
+    """The default executor: timing plane + in-process numeric plane."""
     from repro.core.config import CommConfig, HCCConfig, PartitionStrategy, TransmitMode
     from repro.core.framework import HCCMF
     from repro.data.datasets import get_dataset
@@ -89,7 +99,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         ),
     )
     hcc = HCCMF(overall_platform(), spec, config, ratings=ratings)
-    result = hcc.train()
+    telemetry = None
+    if (args.metrics or args.drift) and ratings is not None:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+    result = hcc.train(telemetry=telemetry)
 
     print(f"dataset: {spec.name}  partition: {result.plan.strategy} "
           f"({result.regime.value})")
@@ -104,6 +119,114 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
         n = export_chrome_trace(result.timeline, args.trace)
         print(f"wrote {n} trace events to {args.trace} (open in chrome://tracing)")
+    if telemetry is not None and args.metrics:
+        n = telemetry.write_metrics_jsonl(args.metrics)
+        print(f"wrote {n} metric lines to {args.metrics}")
+    if args.drift:
+        if telemetry is None:
+            print("--drift needs the numeric plane (drop --timing-only)",
+                  file=sys.stderr)
+            return 2
+        # the model executor's reference is its own analytic epoch cost;
+        # measured wall-clock spans are joined against Eq. 1-5 output
+        report = _model_drift(telemetry, result)
+        print(report.render())
+    return 0
+
+
+def _model_drift(telemetry, result):
+    from repro.obs import compare, predictions_from_epoch_cost
+
+    predictions = predictions_from_epoch_cost(result.epoch_cost)
+    # simulated-plane lanes are worker-<id>; map analytic worker names
+    lanes = {wc.name: f"worker-{i}" for i, wc in enumerate(result.epoch_cost.workers)}
+    predictions = {
+        (lanes.get(worker, worker), phase): t
+        for (worker, phase), t in predictions.items()
+    }
+    return compare(telemetry.timeline, predictions, result.epochs)
+
+
+def _train_process(args: argparse.Namespace) -> int:
+    """The wall-clock executor: real worker processes over shared memory."""
+    from repro.data.datasets import get_dataset
+    from repro.obs import Telemetry
+    from repro.parallel.executor import SharedMemoryTrainer
+
+    if args.timing_only:
+        print("--executor process always trains numerically "
+              "(drop --timing-only)", file=sys.stderr)
+        return 2
+    spec = get_dataset(args.dataset)
+    ratings = spec.scaled(args.nnz).generate(seed=args.seed)
+    instrumented = bool(args.trace or args.metrics or args.drift)
+    telemetry = Telemetry() if instrumented else None
+    trainer = SharedMemoryTrainer(
+        ratings,
+        k=args.k,
+        n_workers=args.workers,
+        lr=args.lr,
+        seed=args.seed,
+        telemetry=telemetry,
+    )
+    result = trainer.train(args.epochs)
+    print(f"dataset: {spec.name}  executor: process x{args.workers}")
+    print("rmse:", " ".join(f"{r:.4f}" for r in result.rmse_history))
+    print(f"wall-clock: {result.elapsed_seconds:.3f}s for {result.epochs} epochs "
+          f"({result.updates_per_second:,.0f} updates/s)")
+    if telemetry is not None:
+        if args.trace:
+            n = telemetry.export_chrome_trace(args.trace)
+            print(f"wrote {n} trace events to {args.trace} (open in Perfetto)")
+        if args.metrics:
+            n = telemetry.write_metrics_jsonl(args.metrics)
+            print(f"wrote {n} metric lines to {args.metrics}")
+        if args.drift:
+            print(telemetry.drift_report().render())
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Offline view of an instrumented run's artifacts."""
+    from repro.hardware.trace import import_chrome_trace
+    from repro.obs import read_metrics_jsonl
+
+    shown = False
+    if args.trace:
+        try:
+            timeline = import_chrome_trace(args.trace)
+        except OSError as exc:
+            print(f"cannot read trace: {exc}", file=sys.stderr)
+            return 2
+        if len(timeline):
+            print(f"trace: {args.trace}  ({len(timeline)} spans, "
+                  f"makespan {timeline.makespan():.4f}s)")
+            print(timeline.ascii_gantt(width=64))
+            for worker in timeline.workers():
+                totals = ", ".join(
+                    f"{phase.value} {total:.4f}s"
+                    for phase, total in timeline.phase_totals(worker).items()
+                    if total > 0
+                )
+                print(f"  {worker:12s} {totals}")
+        else:
+            print(f"trace: {args.trace}  (no spans)")
+        shown = True
+    if args.metrics:
+        try:
+            events, samples = read_metrics_jsonl(args.metrics)
+        except OSError as exc:
+            print(f"cannot read metrics: {exc}", file=sys.stderr)
+            return 2
+        print(f"metrics: {args.metrics}  ({len(events)} events, "
+              f"{len(samples)} samples)")
+        for line in samples:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(line["labels"].items()))
+            print(f"  {line['name']}{{{labels}}} = {line['value']:g}")
+        shown = True
+    if not shown:
+        print("nothing to report: pass --trace and/or --metrics", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -250,6 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the numeric plane")
     train.add_argument("--trace", metavar="FILE",
                        help="write a chrome://tracing JSON of the timeline")
+    train.add_argument("--metrics", metavar="FILE",
+                       help="write the run's metrics as JSONL (numeric plane)")
+    train.add_argument("--executor", default="model",
+                       choices=["model", "process"],
+                       help="'model' = cost-model planes (default); 'process' "
+                            "= real worker processes over shared memory")
+    train.add_argument("--workers", type=int, default=2,
+                       help="worker process count for --executor process")
+    train.add_argument("--drift", action="store_true",
+                       help="print the cost-model drift report")
 
     an = sub.add_parser("analyze", help="profile a dataset's structure")
     an.add_argument("--dataset", default="Netflix", help="Table 3 name (synthetic)")
@@ -280,6 +413,15 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["info", "warning", "error"],
                       help="lowest severity that fails the run (default: warning)")
 
+    obs = sub.add_parser(
+        "obs-report",
+        help="summarize an instrumented run's trace/metrics files offline",
+    )
+    obs.add_argument("--trace", metavar="FILE",
+                     help="chrome-trace JSON written by train --trace")
+    obs.add_argument("--metrics", metavar="FILE",
+                     help="metrics JSONL written by train --metrics")
+
     race = sub.add_parser(
         "race-check",
         help="prove P-row ownership + one-copy discipline dynamically",
@@ -304,6 +446,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "ablate": _cmd_ablate,
     "lint": _cmd_lint,
+    "obs-report": _cmd_obs_report,
     "race-check": _cmd_race_check,
 }
 

@@ -137,7 +137,20 @@ class HCCMF:
     # ------------------------------------------------------------------
     # training (steps 4-7)
     # ------------------------------------------------------------------
-    def train(self, epochs: int | None = None, eval_data: RatingMatrix | None = None) -> TrainResult:
+    def train(
+        self,
+        epochs: int | None = None,
+        eval_data: RatingMatrix | None = None,
+        telemetry=None,
+    ) -> TrainResult:
+        """Run the simulated-time plane and (if ratings) the numeric plane.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`, duck-typed) opts
+        the numeric plane into runtime instrumentation: wall-clock
+        pull/compute/push spans per worker, sync/eval spans for the
+        server, per-epoch RMSE gauges and structured events.  ``None``
+        (the default) keeps every numeric path untimed.
+        """
         if self.plan is None:
             self.prepare()
         epochs = epochs if epochs is not None else self.config.epochs
@@ -177,7 +190,7 @@ class HCCMF:
         rmse_history: list[float] = []
         model: MFModel | None = None
         if self.ratings is not None:
-            model, rmse_history = self._train_numeric(epochs, eval_data)
+            model, rmse_history = self._train_numeric(epochs, eval_data, telemetry)
 
         return TrainResult(
             dataset=self.dataset,
@@ -202,10 +215,11 @@ class HCCMF:
 
     # ------------------------------------------------------------------
     def _train_numeric(
-        self, epochs: int, eval_data: RatingMatrix | None
+        self, epochs: int, eval_data: RatingMatrix | None, telemetry=None
     ) -> tuple[MFModel, list[float]]:
         data = self._numeric_data
         eval_set = eval_data if eval_data is not None else data
+        registry = telemetry.registry if telemetry is not None else None
         model = MFModel.init_for(data, self.config.k, seed=self.config.seed)
         runtimes = [
             WorkerRuntime(
@@ -215,6 +229,7 @@ class HCCMF:
                 data,
                 batch_size=self.config.batch_size,
                 seed=self.config.seed,
+                metrics=registry,
             )
             for i, (proc, assignment) in enumerate(
                 zip(self.platform.workers, self._assignments)
@@ -225,20 +240,63 @@ class HCCMF:
             return self._train_numeric_rotate(epochs, eval_set, model, runtimes)
 
         server = ParameterServer(
-            model, self.platform.n_workers, fp16_wire=self.config.comm.fp16
+            model,
+            self.platform.n_workers,
+            fp16_wire=self.config.comm.fp16,
+            metrics=registry,
         )
         history: list[float] = []
-        for _ in range(epochs):
+        if telemetry is None:
+            for _ in range(epochs):
+                server.begin_epoch()
+                for rt in runtimes:
+                    q_local = server.pull()
+                    q_new, _ = rt.run_epoch(model.P, q_local, self.lr, self.reg)
+                    # row-grid workers train on disjoint samples, so their Q
+                    # deltas represent distinct SGD steps and merge additively
+                    # (weight 1.0); averaging would under-apply the epoch's
+                    # updates and slow convergence
+                    server.push_and_sync(rt.worker_id, q_new, 1.0)
+                history.append(model.rmse(eval_set))
+            return model, history
+
+        # instrumented variant: same loop with wall-clock spans.  The
+        # numeric plane is in-process and serial, so the Timeline shows
+        # what this substrate really does: workers take turns
+        import time
+
+        timeline = Timeline()
+        t_origin = time.perf_counter()
+        for epoch in range(epochs):
             server.begin_epoch()
             for rt in runtimes:
-                q_local = server.pull()
+                lane = f"worker-{rt.worker_id}"
+                t0 = time.perf_counter() - t_origin
+                q_local = server.pull(worker=rt.worker_id)
+                t1 = time.perf_counter() - t_origin
+                timeline.add(lane, Phase.PULL, t0, t1, epoch)
                 q_new, _ = rt.run_epoch(model.P, q_local, self.lr, self.reg)
-                # row-grid workers train on disjoint samples, so their Q
-                # deltas represent distinct SGD steps and merge additively
-                # (weight 1.0); averaging would under-apply the epoch's
-                # updates and slow convergence
+                t2 = time.perf_counter() - t_origin
+                timeline.add(lane, Phase.COMPUTE, t1, t2, epoch)
+                # additive merge, weight 1.0 — see the uninstrumented
+                # branch for why
                 server.push_and_sync(rt.worker_id, q_new, 1.0)
-            history.append(model.rmse(eval_set))
+                m0, m1 = server.last_merge_interval
+                # push = the worker's deposit; the merge tail is the
+                # server's sync, on its own lane
+                timeline.add(lane, Phase.PUSH, t2, m0 - t_origin, epoch)
+                timeline.add(
+                    "server", Phase.SYNC, m0 - t_origin, m1 - t_origin, epoch
+                )
+            e0 = time.perf_counter() - t_origin
+            rmse = model.rmse(eval_set)
+            timeline.add("server", Phase.EVAL, e0, time.perf_counter() - t_origin, epoch)
+            history.append(rmse)
+            registry.gauge("epoch_rmse", "training RMSE at epoch end").set(
+                rmse, epoch=epoch
+            )
+            registry.event("epoch", epoch=epoch, rmse=rmse)
+        telemetry.timeline = timeline
         return model, history
 
     def _train_numeric_rotate(

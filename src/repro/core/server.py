@@ -24,6 +24,8 @@ in place ("transmit Q only", Strategy 1): the server never merges P.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.comm import PullBuffer, PushBuffer
@@ -33,7 +35,13 @@ from repro.mf.model import MFModel
 class ParameterServer:
     """Numeric server for the in-process executor."""
 
-    def __init__(self, model: MFModel, n_workers: int, fp16_wire: bool = False):
+    def __init__(
+        self,
+        model: MFModel,
+        n_workers: int,
+        fp16_wire: bool = False,
+        metrics=None,
+    ):
         if n_workers <= 0:
             raise ValueError("need at least one worker")
         self.model = model
@@ -47,6 +55,12 @@ class ParameterServer:
         self._q_base: np.ndarray | None = None
         self.sync_count = 0
         self.epochs_started = 0
+        #: optional repro.obs MetricsRegistry (duck-typed — core never
+        #: imports repro.obs; None keeps every path untimed)
+        self.metrics = metrics
+        #: perf_counter interval of the most recent merge (metrics only);
+        #: lets an orchestrator place the SYNC span on its timeline
+        self.last_merge_interval: tuple[float, float] | None = None
 
     # ------------------------------------------------------------------
     def begin_epoch(self) -> None:
@@ -65,7 +79,12 @@ class ParameterServer:
         """
         if self._q_base is None:
             raise RuntimeError("pull before begin_epoch")
-        return self.pull_buffer.read(worker=worker)
+        out = self.pull_buffer.read(worker=worker)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "bytes_pulled_total", "bytes pulled per worker"
+            ).inc(out.nbytes, worker=f"worker-{worker}" if worker is not None else "all")
+        return out
 
     def push_and_sync(self, worker_id: int, q_local: np.ndarray, weight: float) -> None:
         """A worker's push followed by the server's merge.
@@ -83,11 +102,21 @@ class ParameterServer:
         buf = self.push_buffers[worker_id]
         buf.deposit(q_local)
         received = buf.consume()
+        t0 = time.perf_counter() if self.metrics is not None else 0.0
         # three memory ops + multiply-add per value, as Eq. 3 charges:
         # read global, read delta, write global
         delta = received.astype(np.float32) - self._q_base
         self.model.Q += np.float32(weight) * delta
         self.sync_count += 1
+        if self.metrics is not None:
+            t1 = time.perf_counter()
+            self.last_merge_interval = (t0, t1)
+            self.metrics.counter(
+                "bytes_pushed_total", "bytes pushed per worker"
+            ).inc(q_local.nbytes, worker=f"worker-{worker_id}")
+            self.metrics.histogram(
+                "merge_seconds", "server delta-merge time per sync"
+            ).observe(t1 - t0)
 
     # ------------------------------------------------------------------
     @property

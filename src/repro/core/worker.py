@@ -19,6 +19,8 @@ task kernels:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.data.grid import GridAssignment, block_sort
@@ -39,6 +41,7 @@ class WorkerRuntime:
         ratings: RatingMatrix,
         batch_size: int = 4096,
         seed: int = 0,
+        metrics=None,
     ):
         self.worker_id = worker_id
         self.processor = processor
@@ -52,6 +55,9 @@ class WorkerRuntime:
             ConflictPolicy.LAST_WRITE if processor.is_gpu else ConflictPolicy.ATOMIC
         )
         self.updates_applied = 0
+        #: optional repro.obs MetricsRegistry (duck-typed; this module
+        #: never imports repro.obs so the numeric plane stays light)
+        self.metrics = metrics
 
     @property
     def nnz(self) -> int:
@@ -81,6 +87,7 @@ class WorkerRuntime:
         if model.P is not p_global:  # pragma: no cover - contiguity guard
             raise RuntimeError("P was copied; in-place row updates would be lost")
 
+        t0 = time.perf_counter() if self.metrics is not None else 0.0
         order = self.rng.permutation(self.data.nnz)
         shuffled = self.data.take(order)
         total_sq = 0.0
@@ -88,6 +95,14 @@ class WorkerRuntime:
             mse = sgd_batch_update(model, rows, cols, vals, lr, reg, self.policy)
             total_sq += mse * len(rows)
             self.updates_applied += len(rows)
+        if self.metrics is not None:
+            worker = f"worker-{self.worker_id}"
+            self.metrics.counter("updates_total", "SGD updates applied").inc(
+                self.data.nnz, worker=worker
+            )
+            self.metrics.histogram(
+                "worker_epoch_seconds", "wall-clock of one worker epoch"
+            ).observe(time.perf_counter() - t0, worker=worker)
         return model.Q, total_sq / self.data.nnz
 
     # ------------------------------------------------------------------

@@ -5,11 +5,17 @@ The paper uses Intel PCM and NVIDIA Nsight to measure each worker's
 (Algorithm 1 re-measures computing times after each re-partition).
 On this substrate the equivalents are wall-clock probes of the NumPy
 kernels: effective copy bandwidth and achieved SGD update rate.
+
+Each probe has two forms: ``probe_*`` returns a :class:`ProbeResult`
+(value plus how it was measured — repeats, elapsed) that can feed the
+telemetry metrics registry, and the original ``measure_*`` wrappers
+keep returning bare floats for existing callers (DP1 tuning, benches).
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -18,8 +24,39 @@ from repro.mf.kernels import ConflictPolicy, sgd_epoch
 from repro.mf.model import MFModel
 
 
-def measure_copy_bandwidth_gbs(nbytes: int = 64 * 1024 * 1024, repeats: int = 3) -> float:
-    """Measured host memory copy bandwidth in GB/s.
+@dataclass(frozen=True)
+class ProbeResult:
+    """One probe measurement: the value plus its provenance.
+
+    ``value`` is in ``unit``; ``repeats`` is how many timed runs were
+    taken; ``elapsed_seconds`` is total probe wall-clock (what the
+    probe itself cost, so instrumented runs can account for it).
+    """
+
+    value: float
+    unit: str
+    repeats: int
+    elapsed_seconds: float
+
+    def record_to(self, registry, name: str) -> None:
+        """Feed this measurement into a metrics registry.
+
+        ``registry`` is a :class:`repro.obs.registry.MetricsRegistry`
+        (duck-typed so this module never imports :mod:`repro.obs`).
+        """
+        registry.gauge(name, f"probe measurement ({self.unit})").set(
+            self.value, unit=self.unit
+        )
+        registry.event(
+            "probe", name=name, value=self.value, unit=self.unit,
+            repeats=self.repeats, elapsed_seconds=self.elapsed_seconds,
+        )
+
+
+def probe_copy_bandwidth(
+    nbytes: int = 64 * 1024 * 1024, repeats: int = 3
+) -> ProbeResult:
+    """Measured host memory copy bandwidth (GB/s) with provenance.
 
     Copies a buffer of ``nbytes`` ``repeats`` times and reports the
     best rate (read + write traffic counted once, matching how PCM's
@@ -30,11 +67,52 @@ def measure_copy_bandwidth_gbs(nbytes: int = 64 * 1024 * 1024, repeats: int = 3)
     src = np.ones(nbytes // 8, dtype=np.float64)
     dst = np.empty_like(src)
     best = float("inf")
+    probe_t0 = time.perf_counter()
     for _ in range(repeats):
         t0 = time.perf_counter()
         np.copyto(dst, src)
         best = min(best, time.perf_counter() - t0)
-    return nbytes / best / 1e9
+    return ProbeResult(
+        value=nbytes / best / 1e9,
+        unit="GB/s",
+        repeats=repeats,
+        elapsed_seconds=time.perf_counter() - probe_t0,
+    )
+
+
+def probe_update_rate(
+    ratings: RatingMatrix,
+    k: int = 32,
+    batch_size: int = 4096,
+    policy: ConflictPolicy = ConflictPolicy.ATOMIC,
+    seed: int = 0,
+) -> ProbeResult:
+    """Achieved SGD updates/s of the local NumPy kernel, with provenance.
+
+    One timed epoch over ``ratings``; used by the wall-clock executor
+    path, by DP1 when running against real (not simulated) workers, and
+    by the drift report's Eq. 2 compute prediction.
+    """
+    model = MFModel.init_for(ratings, k, seed=seed)
+    rng = np.random.default_rng(seed)
+    t0 = time.perf_counter()
+    sgd_epoch(model, ratings, lr=0.005, reg=0.01, batch_size=batch_size, policy=policy, rng=rng)
+    elapsed = time.perf_counter() - t0
+    if elapsed <= 0:  # pragma: no cover - clock resolution guard
+        rate = float("inf")
+    else:
+        rate = ratings.nnz / elapsed
+    return ProbeResult(
+        value=rate, unit="updates/s", repeats=1, elapsed_seconds=elapsed
+    )
+
+
+# ---------------------------------------------------------------------------
+# float-returning compatibility wrappers
+# ---------------------------------------------------------------------------
+def measure_copy_bandwidth_gbs(nbytes: int = 64 * 1024 * 1024, repeats: int = 3) -> float:
+    """Measured host memory copy bandwidth in GB/s (bare float)."""
+    return probe_copy_bandwidth(nbytes=nbytes, repeats=repeats).value
 
 
 def measure_update_rate(
@@ -44,16 +122,7 @@ def measure_update_rate(
     policy: ConflictPolicy = ConflictPolicy.ATOMIC,
     seed: int = 0,
 ) -> float:
-    """Achieved SGD updates/s of the local NumPy kernel on this host.
-
-    One timed epoch over ``ratings``; used by the wall-clock executor
-    path and by DP1 when running against real (not simulated) workers.
-    """
-    model = MFModel.init_for(ratings, k, seed=seed)
-    rng = np.random.default_rng(seed)
-    t0 = time.perf_counter()
-    sgd_epoch(model, ratings, lr=0.005, reg=0.01, batch_size=batch_size, policy=policy, rng=rng)
-    elapsed = time.perf_counter() - t0
-    if elapsed <= 0:  # pragma: no cover - clock resolution guard
-        return float("inf")
-    return ratings.nnz / elapsed
+    """Achieved SGD updates/s of the local NumPy kernel (bare float)."""
+    return probe_update_rate(
+        ratings, k=k, batch_size=batch_size, policy=policy, seed=seed
+    ).value

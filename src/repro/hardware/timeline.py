@@ -17,12 +17,20 @@ from typing import Iterable
 
 
 class Phase(enum.Enum):
-    """Lifecycle phases of a worker epoch (paper Figure 4 steps 4-7)."""
+    """Lifecycle phases of a worker epoch (paper Figure 4 steps 4-7).
+
+    The first four are the paper's modeled phases; BARRIER (a worker
+    waiting for the epoch barrier) and EVAL (the server computing RMSE)
+    come from the runtime telemetry plane (:mod:`repro.obs`) and have
+    no cost-model term.
+    """
 
     PULL = "pull"
     COMPUTE = "computing"
     PUSH = "push"
     SYNC = "sync"
+    BARRIER = "barrier"
+    EVAL = "eval"
 
 
 @dataclass(frozen=True)
@@ -121,6 +129,8 @@ class Timeline:
         Phase.COMPUTE: "#",
         Phase.PUSH: ">",
         Phase.SYNC: "S",
+        Phase.BARRIER: ".",
+        Phase.EVAL: "E",
     }
 
     def ascii_gantt(self, width: int = 72) -> str:
@@ -145,7 +155,7 @@ class Timeline:
                 a = int((s.start - lo) * scale)
                 b = max(a + 1, int((s.end - lo) * scale))
                 for i in range(a, min(b, width)):
-                    row[i] = self._GLYPH[s.phase]
+                    row[i] = self._GLYPH.get(s.phase, "?")
             lines.append(f"{name:<{label_w}}|{''.join(row)}|")
-        legend = "legend: < pull   # compute   > push   S sync"
+        legend = "legend: < pull   # compute   > push   S sync   . barrier   E eval"
         return "\n".join([*lines, legend])

@@ -1,10 +1,16 @@
-"""Chrome trace-event export for execution timelines.
+"""Chrome trace-event export/import for execution timelines.
 
 Converts a :class:`~repro.hardware.timeline.Timeline` into the Trace
 Event JSON format that ``chrome://tracing`` / Perfetto render — the
 interactive counterpart of the ASCII Gantt, with one track per worker
 and color-coded pull/compute/push/sync phases (the tooling equivalent
-of the paper's Nsight Systems screenshots).
+of the paper's Nsight Systems screenshots).  Works for both planes:
+modeled timelines from the cost model and *real* timelines assembled
+by the telemetry plane (:mod:`repro.obs`).
+
+The importer (:func:`timeline_from_trace_events`) inverts the export,
+so traces written by instrumented runs can be re-loaded for offline
+analysis (``repro obs-report``).
 """
 
 from __future__ import annotations
@@ -14,23 +20,35 @@ import os
 
 from repro.hardware.timeline import Phase, Timeline
 
-#: chrome trace colour names per phase
+#: chrome trace colour names per phase; span kinds the table does not
+#: know (new recorder phases, ad-hoc lanes) fall back to _DEFAULT_COLOR
 _COLORS = {
     Phase.PULL: "thread_state_iowait",
     Phase.COMPUTE: "thread_state_running",
     Phase.PUSH: "thread_state_runnable",
     Phase.SYNC: "terrible",
+    Phase.BARRIER: "thread_state_sleeping",
+    Phase.EVAL: "grey",
 }
+
+_DEFAULT_COLOR = "generic_work"
 
 #: trace timestamps are microseconds
 _US = 1e6
+
+
+def _phase_name(phase) -> str:
+    """Span-kind label for any phase-like value (enum or plain string)."""
+    return phase.value if isinstance(phase, Phase) else str(phase)
 
 
 def timeline_to_trace_events(timeline: Timeline, time_unit: float = 1.0) -> list[dict]:
     """Convert spans to complete ('X') trace events.
 
     ``time_unit`` scales span times to seconds (pass 1e-3 if the
-    timeline was built in milliseconds).
+    timeline was built in milliseconds).  Unknown phases render with a
+    default colour instead of raising, so new span kinds from the real
+    recorder always export.
     """
     if time_unit <= 0:
         raise ValueError("time_unit must be positive")
@@ -49,14 +67,14 @@ def timeline_to_trace_events(timeline: Timeline, time_unit: float = 1.0) -> list
     for span in timeline.spans:
         events.append(
             {
-                "name": span.phase.value,
+                "name": _phase_name(span.phase),
                 "cat": f"epoch-{span.epoch}",
                 "ph": "X",
                 "pid": 1,
                 "tid": tids[span.worker],
                 "ts": span.start * time_unit * _US,
                 "dur": span.duration * time_unit * _US,
-                "cname": _COLORS[span.phase],
+                "cname": _COLORS.get(span.phase, _DEFAULT_COLOR),
                 "args": {"epoch": span.epoch},
             }
         )
@@ -73,3 +91,48 @@ def export_chrome_trace(
     with open(path, "w") as fh:
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
     return len(events)
+
+
+# ---------------------------------------------------------------------------
+# import (the inverse; obs-report reads traces back)
+# ---------------------------------------------------------------------------
+_PHASE_BY_VALUE = {phase.value: phase for phase in Phase}
+
+
+def timeline_from_trace_events(events: list[dict]) -> Timeline:
+    """Rebuild a Timeline from exported trace events.
+
+    Thread-name metadata maps tids back to worker lanes; 'X' events
+    whose name is not a known phase are skipped (foreign traces may
+    carry arbitrary slices).  Timestamps come back in seconds.
+    """
+    names: dict[int, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[event["tid"]] = event.get("args", {}).get("name", str(event["tid"]))
+    timeline = Timeline()
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        phase = _PHASE_BY_VALUE.get(event.get("name"))
+        if phase is None:
+            continue
+        tid = event.get("tid")
+        start = float(event.get("ts", 0.0)) / _US
+        duration = float(event.get("dur", 0.0)) / _US
+        timeline.add(
+            names.get(tid, f"tid-{tid}"),
+            phase,
+            start,
+            start + duration,
+            epoch=int(event.get("args", {}).get("epoch", 0)),
+        )
+    return timeline
+
+
+def import_chrome_trace(path: str | os.PathLike) -> Timeline:
+    """Load a Chrome-trace JSON file written by :func:`export_chrome_trace`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    events = payload.get("traceEvents", payload if isinstance(payload, list) else [])
+    return timeline_from_trace_events(events)

@@ -1,0 +1,96 @@
+"""Render a :class:`MetricsRegistry` as JSONL events or Prometheus text.
+
+Two formats, two audiences:
+
+* **JSONL** — one structured event per line, followed by one line per
+  metric sample.  Greppable, diffable, replayable; the format the
+  ``repro obs-report`` command reads back.
+* **Prometheus text exposition** — ``# HELP`` / ``# TYPE`` headers and
+  ``name{label="v"} value`` lines, so an instrumented run's final state
+  can be scraped or pushed to a gateway without extra dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator
+
+from repro.obs.registry import MetricsRegistry, Sample
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+def jsonl_lines(registry: MetricsRegistry) -> Iterator[str]:
+    """Events first (in order), then every metric sample."""
+    for event in registry.events:
+        yield json.dumps({"type": "event", **event}, sort_keys=False)
+    for sample in registry.samples():
+        yield json.dumps(
+            {
+                "type": "sample",
+                "name": sample.name,
+                "labels": sample.labels_dict(),
+                "value": sample.value,
+            }
+        )
+
+
+def write_metrics_jsonl(registry: MetricsRegistry, path: str | os.PathLike) -> int:
+    """Write the JSONL stream; returns the line count."""
+    n = 0
+    with open(path, "w") as fh:
+        for line in jsonl_lines(registry):
+            fh.write(line + "\n")
+            n += 1
+    return n
+
+
+def read_metrics_jsonl(path: str | os.PathLike) -> tuple[list[dict], list[dict]]:
+    """Parse a JSONL stream back into ``(events, samples)`` dicts."""
+    events: list[dict] = []
+    samples: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "event":
+                events.append(record)
+            else:
+                samples.append(record)
+    return events, samples
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+def _format_labels(sample: Sample) -> str:
+    if not sample.labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sample.labels)
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for sample in metric.samples():
+            value = sample.value
+            text = "+Inf" if value == float("inf") else f"{value:g}"
+            lines.append(f"{sample.name}{_format_labels(sample)} {text}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | os.PathLike) -> int:
+    """Write the Prometheus exposition; returns the byte count."""
+    text = prometheus_text(registry)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return len(text)

@@ -20,6 +20,14 @@ updates count as distinct SGD steps).
 This demonstrates genuine multi-process parallel SGD with the one-copy
 communication discipline; wall-clock speedups depend on the host's
 cores and the GIL-free NumPy kernels.
+
+Passing ``telemetry=`` (a :class:`repro.obs.Telemetry`) instruments the
+run: workers log pull/compute/push/barrier spans into per-worker
+shared-memory rings (:mod:`repro.obs.spans` — one-copy, no queues), the
+server adds sync/eval spans, and the run assembles a real
+:class:`~repro.hardware.timeline.Timeline` plus a metrics registry.
+With ``telemetry=None`` (the default) every timing call is skipped —
+the uninstrumented path is byte-for-byte the loop described above.
 """
 
 from __future__ import annotations
@@ -29,16 +37,25 @@ import threading
 import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.grid import GridKind, partition_rows
 from repro.data.ratings import RatingMatrix
+from repro.hardware.timeline import Phase
 from repro.mf.kernels import ConflictPolicy, sgd_batch_update
 from repro.mf.model import MFModel
 from repro.parallel.shm import SharedArray, SharedArraySpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Telemetry
+
 _BARRIER_TIMEOUT_S = 120.0
+
+#: ring slots per epoch when instrumented: pull + compute + push + two
+#: barrier waits, plus one spare
+_SPANS_PER_EPOCH = 6
 
 
 @dataclass
@@ -51,12 +68,36 @@ class ParallelTrainResult:
     n_workers: int
     nnz: int
     model: MFModel = field(repr=False)
+    telemetry: "Telemetry | None" = field(default=None, repr=False)
 
     @property
     def updates_per_second(self) -> float:
         if self.elapsed_seconds <= 0:
-            return float("inf")
+            # a sub-resolution run has no meaningful rate; 0.0 keeps
+            # downstream aggregation (means, tables) finite
+            return 0.0
         return self.nnz * self.epochs / self.elapsed_seconds
+
+
+def _train_shard(
+    model: MFModel,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    rng: np.random.Generator,
+    batch_size: int,
+    lr: float,
+    reg: float,
+) -> None:
+    """One epoch of batched SGD over this worker's shard."""
+    n = len(vals)
+    order = rng.permutation(n)
+    for lo in range(0, n, batch_size):
+        sel = order[lo : lo + batch_size]
+        sgd_batch_update(
+            model, rows[sel], cols[sel], vals[sel], lr, reg,
+            policy=ConflictPolicy.ATOMIC,
+        )
 
 
 def _worker_main(
@@ -74,12 +115,16 @@ def _worker_main(
     seed: int,
     start_barrier,
     end_barrier,
+    span_spec=None,
     fail_at_epoch: int = -1,
 ) -> None:
     """Worker process body: epochs of pull -> train -> push.
 
-    ``fail_at_epoch`` is a fault-injection hook for tests: the worker
-    aborts its barrier (simulating a crash) at that epoch.
+    ``span_spec`` (a :class:`repro.obs.spans.SpanRingSpec`) switches the
+    loop onto its instrumented variant; ``None`` runs the plain loop
+    with zero telemetry overhead.  ``fail_at_epoch`` is a
+    fault-injection hook for tests: the worker aborts its barrier
+    (simulating a crash) at that epoch.
     """
     rng = np.random.default_rng(seed + 1000 * (worker_id + 1))
     # ExitStack closes every attached segment even if a later attach
@@ -89,26 +134,43 @@ def _worker_main(
         p_shared = stack.enter_context(SharedArray.attach(p_spec))
         pull_buf = stack.enter_context(SharedArray.attach(pull_spec))
         push_buf = stack.enter_context(SharedArray.attach(push_spec))
-        n = len(vals)
+        rec = None
+        if span_spec is not None:
+            # imported here so the uninstrumented path never touches
+            # repro.obs (and to avoid an import cycle via repro.parallel)
+            from repro.obs.spans import SpanRecorder, SpanRing
+
+            rec = SpanRecorder(stack.enter_context(SpanRing.attach(span_spec)))
         for epoch in range(epochs):
             if epoch == fail_at_epoch:
                 start_barrier.abort()
                 raise RuntimeError(f"injected failure in worker {worker_id}")
-            start_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
-            # pull: the worker's single per-epoch copy out of the shared
-            # pull buffer (paper 3.5)  # hcclint: disable=hot-copy
-            q_local = pull_buf.array.copy()
-            model = MFModel(p_shared.array, q_local)
-            order = rng.permutation(n)
-            for lo in range(0, n, batch_size):
-                sel = order[lo : lo + batch_size]
-                sgd_batch_update(
-                    model, rows[sel], cols[sel], vals[sel], lr, reg,
-                    policy=ConflictPolicy.ATOMIC,
-                )
-            # push: one copy into this worker's shared push buffer
-            np.copyto(push_buf.array, model.Q)
-            end_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+            if rec is None:
+                start_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+                # pull: the worker's single per-epoch copy out of the shared
+                # pull buffer (paper 3.5)  # hcclint: disable=hot-copy
+                q_local = pull_buf.array.copy()
+                model = MFModel(p_shared.array, q_local)
+                _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
+                # push: one copy into this worker's shared push buffer
+                np.copyto(push_buf.array, model.Q)
+                end_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+            else:
+                t0 = time.perf_counter()
+                start_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+                rec.record(Phase.BARRIER, epoch, t0, time.perf_counter())
+                with rec.span(Phase.PULL, epoch):
+                    # the same single per-epoch pull copy, timed
+                    # hcclint: disable=hot-copy
+                    q_local = pull_buf.array.copy()
+                model = MFModel(p_shared.array, q_local)
+                with rec.span(Phase.COMPUTE, epoch):
+                    _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
+                with rec.span(Phase.PUSH, epoch):
+                    np.copyto(push_buf.array, model.Q)
+                t1 = time.perf_counter()
+                end_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+                rec.record(Phase.BARRIER, epoch, t1, time.perf_counter())
 
 
 class SharedMemoryTrainer:
@@ -124,6 +186,7 @@ class SharedMemoryTrainer:
         batch_size: int = 4096,
         fractions: list[float] | None = None,
         seed: int = 0,
+        telemetry: "Telemetry | None" = None,
         fail_worker_at: tuple[int, int] | None = None,
     ):
         if n_workers <= 0:
@@ -142,6 +205,8 @@ class SharedMemoryTrainer:
         if len(fractions) != n_workers:
             raise ValueError("one fraction per worker required")
         self.fractions = [float(f) for f in fractions]
+        #: opt-in runtime telemetry (None = zero-overhead path)
+        self.telemetry = telemetry
         #: fault-injection hook for tests: (worker_id, epoch) that crashes
         self.fail_worker_at = fail_worker_at
 
@@ -164,8 +229,12 @@ class SharedMemoryTrainer:
 
         # once-per-run server-side snapshot  # hcclint: disable=hot-copy
         model = MFModel(init.P.copy(), init.Q.copy())
+        telemetry = self.telemetry
         procs: list[mp.process.BaseProcess] = []
         history: list[float] = []
+        shard_nnz: list[int] = []
+        rings: list = []
+        server_spans: list[tuple[Phase, int, float, float]] = []
         t0 = time.perf_counter()
         # register each segment's unlink the moment it exists: if a later
         # create (or anything else) raises, the earlier segments are
@@ -180,12 +249,22 @@ class SharedMemoryTrainer:
                 buf = SharedArray.create(init.Q.shape, "float32")
                 stack.callback(buf.unlink)
                 push_bufs.append(buf)
+            if telemetry is not None:
+                from repro.obs.spans import SpanRing
+
+                for wid in range(self.n_workers):
+                    ring = SpanRing.create(
+                        capacity=epochs * _SPANS_PER_EPOCH, worker=f"worker-{wid}"
+                    )
+                    stack.callback(ring.unlink)
+                    rings.append(ring)
             np.copyto(p_shared.array, init.P)
             # LIFO: registered last so stragglers die before any unlink
             stack.callback(self._terminate_stragglers, procs)
 
             for wid, a in enumerate(assignments):
                 shard = a.extract(data).sort_by_row()
+                shard_nnz.append(shard.nnz)
                 proc = ctx.Process(
                     target=_worker_main,
                     args=(
@@ -203,6 +282,7 @@ class SharedMemoryTrainer:
                         self.seed,
                         start_barrier,
                         end_barrier,
+                        rings[wid].spec if telemetry is not None else None,
                         self.fail_worker_at[1]
                         if self.fail_worker_at is not None and self.fail_worker_at[0] == wid
                         else -1,
@@ -212,7 +292,7 @@ class SharedMemoryTrainer:
                 proc.start()
                 procs.append(proc)
 
-            for _ in range(epochs):
+            for epoch in range(epochs):
                 # per-epoch sync-base snapshot  # hcclint: disable=hot-copy
                 q_base = model.Q.copy()
                 np.copyto(pull_buf.array, model.Q)
@@ -224,17 +304,46 @@ class SharedMemoryTrainer:
                         "a worker process failed mid-epoch; shared state "
                         "has been cleaned up"
                     ) from exc
+                if telemetry is not None:
+                    m0 = time.perf_counter()
                 # sync: additive delta merge — workers trained on
                 # disjoint row-grid shards, so their Q deltas are
                 # distinct SGD steps and all of them apply
                 np.copyto(model.P, p_shared.array)
                 for buf in push_bufs:
                     model.Q += buf.array - q_base
-                history.append(model.rmse(data))
+                if telemetry is not None:
+                    m1 = time.perf_counter()
+                    server_spans.append((Phase.SYNC, epoch, m0, m1))
+                rmse = model.rmse(data)
+                history.append(rmse)
+                if telemetry is not None:
+                    server_spans.append((Phase.EVAL, epoch, m1, time.perf_counter()))
+                    telemetry.registry.gauge(
+                        "epoch_rmse", "training RMSE at epoch end"
+                    ).set(rmse, epoch=epoch)
+                    telemetry.registry.histogram(
+                        "merge_seconds", "server delta-merge time per epoch"
+                    ).observe(m1 - m0)
+                    telemetry.registry.event(
+                        "epoch", epoch=epoch, rmse=rmse, merge_seconds=m1 - m0
+                    )
 
             for proc in procs:
                 proc.join(timeout=_BARRIER_TIMEOUT_S)
+            if telemetry is not None:
+                self._finalize_telemetry(
+                    telemetry, rings, server_spans, t0, data, shard_nnz, epochs,
+                )
         elapsed = time.perf_counter() - t0
+        if telemetry is not None:
+            telemetry.registry.gauge(
+                "run_elapsed_seconds", "wall-clock of the whole run"
+            ).set(elapsed)
+            telemetry.registry.event(
+                "run_complete", epochs=epochs, n_workers=self.n_workers,
+                elapsed_seconds=elapsed, final_rmse=history[-1],
+            )
         return ParallelTrainResult(
             rmse_history=history,
             elapsed_seconds=elapsed,
@@ -242,4 +351,58 @@ class SharedMemoryTrainer:
             n_workers=self.n_workers,
             nnz=data.nnz,
             model=model,
+            telemetry=telemetry,
+        )
+
+    def _finalize_telemetry(
+        self,
+        telemetry: "Telemetry",
+        rings: list,
+        server_spans: list[tuple[Phase, int, float, float]],
+        origin: float,
+        data: RatingMatrix,
+        shard_nnz: list[int],
+        epochs: int,
+    ) -> None:
+        """Drain the span rings into the run's Timeline and registry.
+
+        Runs after the workers joined and *before* the rings unlink
+        (ExitStack teardown), so every record is final and readable.
+        """
+        from repro.obs.drift import HostRunInfo
+        from repro.obs.spans import assemble_timeline
+
+        timeline, dropped = assemble_timeline(rings, server_spans, origin=origin)
+        registry = telemetry.registry
+        q_bytes = 4 * self.k * data.n
+        updates = registry.counter("updates_total", "SGD updates applied")
+        pulled = registry.counter("bytes_pulled_total", "bytes pulled per worker")
+        pushed = registry.counter("bytes_pushed_total", "bytes pushed per worker")
+        barrier = registry.histogram(
+            "barrier_wait_seconds", "time workers spent waiting at barriers"
+        )
+        rate = registry.gauge("updates_per_second", "achieved per-worker rate")
+        for wid, ring in enumerate(rings):
+            worker = ring.worker
+            updates.inc(shard_nnz[wid] * epochs, worker=worker)
+            pulled.inc(q_bytes * epochs, worker=worker)
+            pushed.inc(q_bytes * epochs, worker=worker)
+            compute_s = timeline.phase_total(Phase.COMPUTE, worker)
+            if compute_s > 0:
+                rate.set(shard_nnz[wid] * epochs / compute_s, worker=worker)
+        for span in timeline.spans:
+            if span.phase is Phase.BARRIER:
+                barrier.observe(span.duration, worker=span.worker)
+        telemetry.attach_run(
+            timeline,
+            dropped,
+            HostRunInfo(
+                worker_names=tuple(r.worker for r in rings),
+                shard_nnz=tuple(shard_nnz),
+                k=self.k,
+                m=data.m,
+                n=data.n,
+                epochs=epochs,
+            ),
+            ratings=data,
         )

@@ -35,7 +35,7 @@ class TestFramework:
         rules = all_rules()
         ids = {r.rule_id for r in rules}
         assert {"HCC101", "HCC102", "HCC103", "HCC104", "HCC105",
-                "HCC106", "HCC107", "HCC108", "HCC109"} <= ids
+                "HCC106", "HCC107", "HCC108", "HCC109", "HCC110"} <= ids
         # ids and names are unique
         assert len(ids) == len(rules)
         assert len({r.name for r in rules}) == len(rules)
@@ -510,6 +510,48 @@ class TestUnitMix:
             return pull_bytes + sync_time  # hcclint: disable=unit-mix
         """
         assert issues_for(src, path=COST, rule="unit-mix") == []
+
+
+class TestWallClock:
+    TIMING = "src/repro/obs/spans.py"  # timing module (obs/ tree)
+
+    def test_time_time_flagged_in_timing_module(self):
+        src = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        issues = issues_for(src, path=self.TIMING, rule="wall-clock")
+        assert len(issues) == 1
+        assert "perf_counter" in issues[0].message
+        assert issues[0].severity is Severity.INFO
+
+    def test_profiler_module_is_timing(self):
+        src = "import time\nt = time.time()\n"
+        assert len(
+            issues_for(src, path="src/repro/hardware/profiler.py", rule="wall-clock")
+        ) == 1
+
+    def test_perf_counter_clean(self):
+        src = """
+        import time
+
+        def stamp():
+            return time.perf_counter()
+        """
+        assert issues_for(src, path=self.TIMING, rule="wall-clock") == []
+
+    def test_non_timing_module_exempt(self):
+        src = "import time\nt = time.time()\n"
+        assert issues_for(src, path=NEUTRAL, rule="wall-clock") == []
+
+    def test_suppression(self):
+        src = """
+        import time
+        t = time.time()  # hcclint: disable=wall-clock
+        """
+        assert issues_for(src, path=self.TIMING, rule="wall-clock") == []
 
 
 class TestRepoIsClean:

@@ -171,3 +171,82 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "injected overlap detected: yes" in out
         assert "race-check: PASS" in out
+
+
+class TestObservabilityCli:
+    def test_train_parser_telemetry_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.executor == "model"
+        assert args.metrics is None
+        assert not args.drift
+
+    def test_obs_report_parser(self):
+        args = build_parser().parse_args(["obs-report", "--trace", "t.json"])
+        assert args.trace == "t.json"
+        assert args.metrics is None
+
+    def test_train_metrics_written(self, capsys, tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "train", "--nnz", "4000", "--epochs", "2", "--k", "8",
+            "--metrics", str(metrics),
+        ]) == 0
+        assert "metric lines" in capsys.readouterr().out
+        lines = [json.loads(line) for line in metrics.read_text().splitlines()]
+        names = {rec.get("name") for rec in lines if rec["type"] == "sample"}
+        assert "epoch_rmse" in names
+
+    def test_train_drift_report(self, capsys):
+        assert main([
+            "train", "--nnz", "4000", "--epochs", "2", "--k", "8", "--drift",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cost-model drift report" in out
+        assert "computing" in out
+
+    def test_train_drift_requires_numeric_plane(self, capsys):
+        assert main(["train", "--timing-only", "--drift"]) == 2
+        assert "drift" in capsys.readouterr().err
+
+    def test_process_executor_rejects_timing_only(self, capsys):
+        assert main(["train", "--executor", "process", "--timing-only"]) == 2
+        assert capsys.readouterr().err
+
+    def test_process_executor_full_telemetry(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "train", "--executor", "process", "--workers", "2",
+            "--nnz", "2000", "--epochs", "2", "--k", "8",
+            "--trace", str(trace), "--metrics", str(metrics), "--drift",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rmse:" in out
+        assert "cost-model drift report" in out
+        events = json.loads(trace.read_text())["traceEvents"]
+        lanes = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert lanes == {"worker-0", "worker-1", "server"}
+        assert metrics.read_text().strip()
+
+    def test_obs_report_requires_an_input(self, capsys):
+        assert main(["obs-report"]) == 2
+        assert capsys.readouterr().err
+
+    def test_obs_report_renders_trace_and_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "train", "--nnz", "4000", "--epochs", "2", "--k", "8",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "obs-report", "--trace", str(trace), "--metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spans," in out  # "trace: ... (N spans, makespan ...)"
+        assert "epoch_rmse" in out
+
+    def test_obs_report_missing_file(self, capsys, tmp_path):
+        assert main(["obs-report", "--trace", str(tmp_path / "no.json")]) == 2
+        assert capsys.readouterr().err

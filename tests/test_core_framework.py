@@ -169,3 +169,33 @@ class TestPartitionIntegration:
         assert filtered.n_workers == platform.n_workers - 1
         for w in filtered.workers:
             assert filtered.bus(w) is platform.bus(w)
+
+
+class TestSimPlaneTelemetry:
+    def test_telemetry_collects_spans_and_metrics(self, platform, medium_ratings):
+        from repro.obs import Telemetry
+
+        cfg = HCCConfig(k=8, epochs=3, learning_rate=0.01, seed=1)
+        tel = Telemetry()
+        HCCMF(platform, NETFLIX, cfg, ratings=medium_ratings).train(telemetry=tel)
+        lanes = tel.timeline.workers()
+        assert "server" in lanes
+        worker_lanes = [w for w in lanes if w != "server"]
+        assert worker_lanes  # one lane per simulated worker
+        for worker in worker_lanes:
+            totals = tel.timeline.phase_totals(worker)
+            assert totals[Phase.PULL] > 0
+            assert totals[Phase.COMPUTE] > 0
+        assert tel.timeline.phase_total(Phase.SYNC, "server") > 0
+        rmse = tel.registry.gauge("epoch_rmse")
+        assert rmse.value(epoch=2) > 0
+
+    def test_telemetry_does_not_change_numerics(self, platform, medium_ratings):
+        from repro.obs import Telemetry
+
+        cfg = HCCConfig(k=8, epochs=3, learning_rate=0.01, seed=7)
+        plain = HCCMF(platform, NETFLIX, cfg, ratings=medium_ratings).train()
+        traced = HCCMF(platform, NETFLIX, cfg, ratings=medium_ratings).train(
+            telemetry=Telemetry()
+        )
+        assert traced.rmse_history == plain.rmse_history

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.hardware.profiler import measure_copy_bandwidth_gbs, measure_update_rate
+from repro.hardware.profiler import (
+    ProbeResult,
+    measure_copy_bandwidth_gbs,
+    measure_update_rate,
+    probe_copy_bandwidth,
+    probe_update_rate,
+)
 from repro.mf.kernels import ConflictPolicy
 
 
@@ -34,3 +40,43 @@ class TestUpdateRate:
         slow = measure_update_rate(medium_ratings, k=64, seed=0)
         fast = measure_update_rate(medium_ratings, k=8, seed=0)
         assert fast > slow  # Eq. 2: work ~ (16k+4)
+
+
+class TestProbeResults:
+    def test_bandwidth_probe_carries_provenance(self):
+        res = probe_copy_bandwidth(nbytes=8 * 1024 * 1024, repeats=2)
+        assert isinstance(res, ProbeResult)
+        assert res.unit == "GB/s"
+        assert res.repeats == 2
+        assert res.elapsed_seconds > 0
+        assert 0.1 < res.value < 1000.0
+
+    def test_update_rate_probe_carries_provenance(self, small_ratings):
+        res = probe_update_rate(small_ratings, k=8, seed=0)
+        assert res.unit == "updates/s"
+        assert res.repeats == 1
+        assert res.value > 1e3
+        assert res.elapsed_seconds > 0
+
+    def test_float_wrappers_return_probe_value(self, small_ratings):
+        assert isinstance(measure_copy_bandwidth_gbs(nbytes=1024, repeats=1), float)
+        assert isinstance(measure_update_rate(small_ratings, k=8), float)
+
+    def test_record_to_registry(self, small_ratings):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        res = probe_update_rate(small_ratings, k=8, seed=0)
+        res.record_to(registry, "update_rate")
+        assert registry.gauge("update_rate").value(unit="updates/s") == pytest.approx(
+            res.value
+        )
+        probe_events = [e for e in registry.events if e["event"] == "probe"]
+        assert probe_events[0]["name"] == "update_rate"
+        assert probe_events[0]["repeats"] == 1
+
+    def test_probe_validation(self):
+        with pytest.raises(ValueError):
+            probe_copy_bandwidth(nbytes=0)
+        with pytest.raises(ValueError):
+            probe_copy_bandwidth(repeats=0)

@@ -5,7 +5,12 @@ import json
 import pytest
 
 from repro.hardware.timeline import Phase, Timeline
-from repro.hardware.trace import export_chrome_trace, timeline_to_trace_events
+from repro.hardware.trace import (
+    export_chrome_trace,
+    import_chrome_trace,
+    timeline_from_trace_events,
+    timeline_to_trace_events,
+)
 
 
 @pytest.fixture
@@ -49,6 +54,84 @@ class TestTraceEvents:
         events = timeline_to_trace_events(timeline)
         cats = {e["cat"] for e in events if e["ph"] == "X"}
         assert cats == {"epoch-0"}
+
+    def test_multi_epoch_categories(self):
+        tl = Timeline()
+        tl.add("w", Phase.COMPUTE, 0.0, 1.0, epoch=0)
+        tl.add("w", Phase.COMPUTE, 1.0, 2.0, epoch=1)
+        tl.add("w", Phase.COMPUTE, 2.0, 3.0, epoch=2)
+        cats = {e["cat"] for e in timeline_to_trace_events(tl) if e["ph"] == "X"}
+        assert cats == {"epoch-0", "epoch-1", "epoch-2"}
+
+    def test_empty_timeline_exports_no_events(self, tmp_path):
+        path = tmp_path / "empty.json"
+        count = export_chrome_trace(Timeline(), path)
+        assert count == 0
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+    def test_millisecond_time_unit(self):
+        tl = Timeline()
+        tl.add("w", Phase.COMPUTE, 100.0, 900.0, epoch=0)  # ms
+        events = timeline_to_trace_events(tl, time_unit=1e-3)
+        span = [e for e in events if e["ph"] == "X"][0]
+        assert span["ts"] == pytest.approx(0.1 * 1e6)
+        assert span["dur"] == pytest.approx(0.8 * 1e6)
+
+    def test_unknown_phase_gets_default_color(self):
+        """Real-run recorders may emit span kinds the color table does
+        not know; they must export with a fallback cname, not raise."""
+        tl = Timeline()
+        tl.add("w", "speculative-prefetch", 0.0, 1.0, epoch=0)
+        events = timeline_to_trace_events(tl)
+        span = [e for e in events if e["ph"] == "X"][0]
+        assert span["name"] == "speculative-prefetch"
+        assert span["cname"] == "generic_work"
+
+
+class TestImport:
+    def test_round_trip_preserves_spans(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(timeline, path)
+        back = import_chrome_trace(path)
+        assert len(back) == len(timeline)
+        assert back.workers() == timeline.workers()
+        orig = timeline.spans[0]
+        got = back.spans[0]
+        assert (got.worker, got.phase, got.epoch) == (
+            orig.worker,
+            orig.phase,
+            orig.epoch,
+        )
+        assert got.start == pytest.approx(orig.start)
+        assert got.end == pytest.approx(orig.end)
+
+    def test_foreign_slices_skipped(self):
+        events = [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1, "args": {"name": "w"}},
+            {"name": "pull", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 1e6, "args": {"epoch": 0}},
+            {"name": "not-a-phase", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 1e6, "args": {}},
+        ]
+        tl = timeline_from_trace_events(events)
+        assert len(tl) == 1
+        assert tl.spans[0].phase is Phase.PULL
+
+    def test_real_run_trace_round_trips(self, tmp_path):
+        """Traces written by an instrumented real run must re-import
+        for offline obs-report analysis."""
+        from repro.data.datasets import NETFLIX
+        from repro.obs import Telemetry
+        from repro.parallel.executor import SharedMemoryTrainer
+
+        data = NETFLIX.scaled(3000).generate(seed=7)
+        tel = Telemetry()
+        SharedMemoryTrainer(data, k=8, n_workers=2, seed=0, telemetry=tel).train(
+            epochs=2
+        )
+        path = tmp_path / "real.json"
+        tel.export_chrome_trace(path)
+        back = import_chrome_trace(path)
+        assert len(back) == len(tel.timeline)
+        assert set(back.workers()) == {"worker-0", "worker-1", "server"}
 
 
 class TestExport:

@@ -1,0 +1,127 @@
+"""Unit tests for shared-memory span rings and timeline assembly."""
+
+import pytest
+
+from repro.hardware.timeline import Phase
+from repro.obs.spans import (
+    SpanRecord,
+    SpanRecorder,
+    SpanRing,
+    assemble_timeline,
+    records_to_timeline,
+)
+
+
+@pytest.fixture
+def ring():
+    r = SpanRing.create(capacity=8, worker="worker-0")
+    yield r
+    r.unlink()
+
+
+class TestSpanRing:
+    def test_record_and_drain(self, ring):
+        ring.record(Phase.PULL, 0, 1.0, 1.5)
+        ring.record(Phase.COMPUTE, 0, 1.5, 3.0)
+        records = ring.drain()
+        assert records == [
+            SpanRecord(Phase.PULL, 0, 1.0, 1.5),
+            SpanRecord(Phase.COMPUTE, 0, 1.5, 3.0),
+        ]
+        assert ring.count == 2
+        assert ring.dropped == 0
+
+    def test_full_ring_drops_and_counts(self):
+        ring = SpanRing.create(capacity=2, worker="w")
+        try:
+            for i in range(5):
+                ring.record(Phase.PULL, i, float(i), float(i) + 0.5)
+            assert ring.count == 2
+            assert ring.dropped == 3
+            # the *first* records survive; history is never rewritten
+            assert [r.epoch for r in ring.drain()] == [0, 1]
+        finally:
+            ring.unlink()
+
+    def test_attach_sees_creator_writes(self, ring):
+        """The server drains what the worker wrote via a fresh attach
+        (same-process stand-in for the cross-process path)."""
+        ring.record(Phase.PUSH, 2, 4.0, 4.25)
+        peer = SpanRing.attach(ring.spec)
+        try:
+            records = peer.drain()
+            assert records[0].phase is Phase.PUSH
+            assert records[0].epoch == 2
+        finally:
+            peer.close()
+
+    def test_spec_capacity_round_trips(self, ring):
+        assert ring.spec.capacity == 8
+        assert ring.spec.worker == "worker-0"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SpanRing.create(capacity=0, worker="w")
+
+    def test_context_manager_owner_unlinks(self):
+        with SpanRing.create(capacity=2, worker="w") as ring:
+            spec = ring.spec
+        # segment destroyed: attaching again must fail
+        with pytest.raises(FileNotFoundError):
+            SpanRing.attach(spec)
+
+
+class TestSpanRecorder:
+    def test_span_context_uses_clock(self, ring):
+        ticks = iter([10.0, 11.0])
+        rec = SpanRecorder(ring, clock=lambda: next(ticks))
+        with rec.span(Phase.COMPUTE, 3):
+            pass
+        record = ring.drain()[0]
+        assert (record.start, record.end) == (10.0, 11.0)
+        assert record.epoch == 3
+
+    def test_span_records_even_on_exception(self, ring):
+        rec = SpanRecorder(ring)
+        with pytest.raises(RuntimeError):
+            with rec.span(Phase.COMPUTE, 0):
+                raise RuntimeError("boom")
+        assert ring.count == 1
+
+
+class TestAssembleTimeline:
+    def test_rebases_to_origin(self, ring):
+        ring.record(Phase.PULL, 0, 100.0, 100.5)
+        timeline, dropped = assemble_timeline([ring], origin=100.0)
+        span = timeline.spans[0]
+        assert span.start == pytest.approx(0.0)
+        assert span.end == pytest.approx(0.5)
+        assert dropped == 0
+
+    def test_server_spans_get_their_own_lane(self, ring):
+        ring.record(Phase.COMPUTE, 0, 0.0, 1.0)
+        timeline, _ = assemble_timeline(
+            [ring], server_spans=[(Phase.SYNC, 0, 1.0, 1.1)]
+        )
+        assert timeline.workers() == ["worker-0", "server"]
+        assert timeline.phase_total(Phase.SYNC, "server") == pytest.approx(0.1)
+
+    def test_dropped_total_across_rings(self):
+        rings = [SpanRing.create(capacity=1, worker=f"w{i}") for i in range(2)]
+        try:
+            for ring in rings:
+                ring.record(Phase.PULL, 0, 0.0, 1.0)
+                ring.record(Phase.PULL, 1, 1.0, 2.0)  # dropped
+            _, dropped = assemble_timeline(rings)
+            assert dropped == 2
+        finally:
+            for ring in rings:
+                ring.unlink()
+
+    def test_records_to_timeline_returns_count(self, ring):
+        from repro.hardware.timeline import Timeline
+
+        ring.record(Phase.PULL, 0, 0.0, 1.0)
+        tl = Timeline()
+        n = records_to_timeline(tl, "worker-0", ring.drain())
+        assert n == 1 and len(tl) == 1

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.data.datasets import NETFLIX
-from repro.parallel.executor import SharedMemoryTrainer
+from repro.parallel.executor import ParallelTrainResult, SharedMemoryTrainer
 
 
 @pytest.fixture(scope="module")
@@ -60,3 +60,56 @@ class TestSharedMemoryTrainer:
             SharedMemoryTrainer(data, k=0)
         with pytest.raises(ValueError):
             SharedMemoryTrainer(data).train(epochs=0)
+
+
+class TestUpdatesPerSecond:
+    def _result(self, elapsed: float) -> ParallelTrainResult:
+        return ParallelTrainResult(
+            rmse_history=[1.0],
+            elapsed_seconds=elapsed,
+            epochs=1,
+            n_workers=1,
+            nnz=1000,
+            model=None,
+        )
+
+    def test_normal_rate(self):
+        assert self._result(2.0).updates_per_second == pytest.approx(500.0)
+
+    def test_zero_elapsed_returns_zero_not_inf(self):
+        """Regression: sub-clock-resolution runs used to report inf,
+        which poisoned any mean/table built from the rate."""
+        assert self._result(0.0).updates_per_second == 0.0
+        assert self._result(-1e-9).updates_per_second == 0.0
+
+
+class TestExecutorTelemetry:
+    def test_disabled_telemetry_takes_zero_overhead_path(self, data, monkeypatch):
+        """telemetry=None must never touch the span-ring machinery."""
+        from repro.obs import spans
+
+        calls = []
+        original = spans.SpanRing.create.__func__
+
+        def tracking(cls, *args, **kwargs):
+            calls.append(args)
+            return original(cls, *args, **kwargs)
+
+        monkeypatch.setattr(
+            spans.SpanRing, "create", classmethod(tracking)
+        )
+        res = SharedMemoryTrainer(data, k=8, n_workers=2, seed=0).train(epochs=2)
+        assert res.telemetry is None
+        assert calls == []
+
+    def test_instrumented_run_matches_uninstrumented_numerics(self, data):
+        """Telemetry must observe, not perturb: same seed, same RMSE."""
+        from repro.obs import Telemetry
+
+        plain = SharedMemoryTrainer(data, k=8, n_workers=2, seed=0).train(epochs=2)
+        tel = Telemetry()
+        traced = SharedMemoryTrainer(
+            data, k=8, n_workers=2, seed=0, telemetry=tel
+        ).train(epochs=2)
+        assert traced.rmse_history == pytest.approx(plain.rmse_history)
+        assert traced.telemetry is tel
