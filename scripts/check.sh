@@ -68,6 +68,11 @@ obs_smoke() {
 }
 stage "obs-smoke" obs_smoke
 
+# 2c. engine-parity: the sim and process planes must execute the same
+# stage sequence with the same per-epoch update counts (docs/engine.md)
+stage "engine-parity" python -m repro engine-parity \
+    --nnz 4000 --epochs 2 --k 8 --workers 2
+
 # 3. ruff (style/pyflakes), if installed
 if command -v ruff >/dev/null 2>&1; then
     stage "ruff" ruff check src tests

@@ -20,6 +20,7 @@ import re
 HOT_PATH_MODULES = frozenset(
     {
         "repro/core/worker.py",
+        "repro/engine/backends.py",
         "repro/mf/kernels.py",
         "repro/parallel/executor.py",
     }
@@ -40,6 +41,7 @@ WORKER_LOOP_MODULES = frozenset(
     {
         "repro/core/worker.py",
         "repro/core/server.py",
+        "repro/engine/backends.py",
         "repro/parallel/executor.py",
     }
 )
@@ -61,6 +63,7 @@ PQ_OWNER_MODULES = frozenset(
         "repro/core/server.py",
         "repro/core/framework.py",
         "repro/core/checkpoint.py",
+        "repro/engine/backends.py",
         "repro/parallel/executor.py",
     }
 )
@@ -73,9 +76,24 @@ TIMING_MODULE_PREFIXES = ("repro/obs/",)
 TIMING_MODULES = frozenset(
     {
         "repro/hardware/profiler.py",
+        "repro/engine/backends.py",
         "repro/parallel/executor.py",
         "repro/core/server.py",
         "repro/core/worker.py",
+    }
+)
+
+#: Modules allowed to contain epoch-loop orchestration (HCC111): the
+#: engine layer owns the pull/compute/push/sync sequence; the legacy
+#: plane modules may keep only delegating facades and the rotation loop.
+EPOCH_LOOP_MODULE_PREFIXES = ("repro/engine/",)
+EPOCH_LOOP_GUARDED_MODULES = frozenset(
+    {
+        "repro/core/framework.py",
+        "repro/core/server.py",
+        "repro/core/worker.py",
+        "repro/parallel/executor.py",
+        "repro/parallel/tuning.py",
     }
 )
 
@@ -121,3 +139,9 @@ def is_pq_owner_module(key: str) -> bool:
 
 def is_timing_module(key: str) -> bool:
     return key in TIMING_MODULES or key.startswith(TIMING_MODULE_PREFIXES)
+
+
+def is_epoch_loop_guarded_module(key: str) -> bool:
+    return key in EPOCH_LOOP_GUARDED_MODULES and not key.startswith(
+        EPOCH_LOOP_MODULE_PREFIXES
+    )

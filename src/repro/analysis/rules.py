@@ -26,6 +26,9 @@ HCC109 hot-gather         advisory: fancy-index gathers inside hot loops
 HCC110 wall-clock         advisory: timing code uses time.perf_counter(),
                           never time.time() (telemetry spans need one
                           monotonic cross-process time base)
+HCC111 epoch-loop         epoch-loop orchestration lives in repro/engine/
+                          only; the legacy plane modules are facades that
+                          delegate to EpochEngine
 ====== ================== ========================================================
 """
 
@@ -36,6 +39,7 @@ from typing import Iterator
 
 from repro.analysis.hotpath import (
     is_cost_model_module,
+    is_epoch_loop_guarded_module,
     is_kernel_module,
     is_pq_owner_module,
     is_timing_module,
@@ -647,3 +651,82 @@ class WallClockRule(Rule):
                     "time.time() is wall clock (non-monotonic); timing code "
                     "must use time.perf_counter()",
                 )
+
+
+# ---------------------------------------------------------------------------
+# HCC111: epoch-loop orchestration belongs to the engine
+# ---------------------------------------------------------------------------
+@rule
+class EpochLoopRule(Rule):
+    rule_id = "HCC111"
+    name = "epoch-loop"
+    severity = Severity.WARNING
+    rationale = (
+        "Both planes execute one epoch pipeline — pull, compute, push, sync "
+        "— and since the planes were unified that loop lives only in "
+        "repro/engine/ (EpochEngine).  An epoch loop reappearing in a "
+        "legacy plane module means the facade is growing its own "
+        "orchestration again, and the two planes can silently diverge.  "
+        "Sanctioned non-pipeline loops (the Q-rotation mode) carry an "
+        "explicit suppression."
+    )
+
+    #: calls that mark a loop body as *driving* the training pipeline
+    #: (iterating epochs to render a table or an axis is fine)
+    _STAGE_TAILS = {
+        "pull",
+        "push",
+        "sync",
+        "compute",
+        "begin_epoch",
+        "push_and_sync",
+        "run_epoch",
+        "run_rotation_step",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[LintIssue]:
+        if not is_epoch_loop_guarded_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.For)
+                and self._is_epoch_range(node.iter)
+                and self._drives_stages(node)
+            ):
+                yield self.issue(
+                    ctx,
+                    node,
+                    "epoch loop outside repro/engine/: the stage pipeline "
+                    "lives in EpochEngine — delegate to it (or suppress a "
+                    "sanctioned non-pipeline loop with a comment)",
+                )
+
+    @staticmethod
+    def _is_epoch_range(iter_node: ast.AST) -> bool:
+        """True for ``range(...)`` whose bound names an epoch count."""
+        if not (
+            isinstance(iter_node, ast.Call)
+            and _func_tail(iter_node.func) == "range"
+        ):
+            return False
+        for arg in iter_node.args:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name):
+                    name = sub.id
+                elif isinstance(sub, ast.Attribute):
+                    name = sub.attr
+                else:
+                    continue
+                if "epoch" in name.lower():
+                    return True
+        return False
+
+    def _drives_stages(self, loop: ast.For) -> bool:
+        for stmt in loop.body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and _func_tail(sub.func) in self._STAGE_TAILS
+                ):
+                    return True
+        return False

@@ -27,6 +27,10 @@ Commands
 ``race-check``
     Prove the P-row ownership and one-copy buffer invariants with the
     dynamic race detector (DP0/DP1/DP2 plans, optional injected bug).
+``engine-parity``
+    Run the same tiny workload through the sim and process backends of
+    the epoch engine and fail if their stage sequences or per-epoch
+    update counts diverge (the planes-unified gate of scripts/check.sh).
 """
 
 from __future__ import annotations
@@ -149,7 +153,9 @@ def _model_drift(telemetry, result):
 
 def _train_process(args: argparse.Namespace) -> int:
     """The wall-clock executor: real worker processes over shared memory."""
+    from repro.core.config import CommConfig, TransmitMode
     from repro.data.datasets import get_dataset
+    from repro.engine import channel_for
     from repro.obs import Telemetry
     from repro.parallel.executor import SharedMemoryTrainer
 
@@ -157,8 +163,39 @@ def _train_process(args: argparse.Namespace) -> int:
         print("--executor process always trains numerically "
               "(drop --timing-only)", file=sys.stderr)
         return 2
+    if args.transmit == "pq":
+        print("--executor process is Strategy-1 by construction (P lives in "
+              "shared memory); --transmit pq only applies to --executor model",
+              file=sys.stderr)
+        return 2
+    if args.transmit == "q-rotate":
+        print("--transmit q-rotate has no pull/push/sync stages for the "
+              "process engine to drive; use --executor model", file=sys.stderr)
+        return 2
+    if args.partition == "dp2":
+        print("--partition dp2 staggers against *modeled* sync costs; the "
+              "wall-clock plane supports even/dp0/dp1 (use --executor model)",
+              file=sys.stderr)
+        return 2
     spec = get_dataset(args.dataset)
     ratings = spec.scaled(args.nnz).generate(seed=args.seed)
+    channel = channel_for(
+        CommConfig(transmit=TransmitMode(args.transmit), fp16=args.fp16,
+                   streams=args.streams),
+        ratings.m, ratings.n,
+    )
+    partition = None
+    if args.partition in ("dp0", "dp1"):
+        from repro.parallel.tuning import measure_partition
+
+        measured = measure_partition(
+            ratings, args.workers, k=args.k,
+            refine=args.partition == "dp1", seed=args.seed,
+        )
+        partition = measured.plan
+        fracs = " ".join(f"{f:.1%}" for f in partition.fractions)
+        print(f"measured {args.partition} partition: {fracs} "
+              f"(calibration {measured.calibration_seconds:.2f}s)")
     instrumented = bool(args.trace or args.metrics or args.drift)
     telemetry = Telemetry() if instrumented else None
     trainer = SharedMemoryTrainer(
@@ -167,10 +204,13 @@ def _train_process(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         lr=args.lr,
         seed=args.seed,
+        partition=partition,
+        channel=channel,
         telemetry=telemetry,
     )
     result = trainer.train(args.epochs)
-    print(f"dataset: {spec.name}  executor: process x{args.workers}")
+    print(f"dataset: {spec.name}  executor: process x{args.workers}  "
+          f"channel: {channel.describe()}")
     print("rmse:", " ".join(f"{r:.4f}" for r in result.rmse_history))
     print(f"wall-clock: {result.elapsed_seconds:.3f}s for {result.epochs} epochs "
           f"({result.updates_per_second:,.0f} updates/s)")
@@ -184,6 +224,70 @@ def _train_process(args: argparse.Namespace) -> int:
         if args.drift:
             print(telemetry.drift_report().render())
     return 0
+
+
+def _cmd_engine_parity(args: argparse.Namespace) -> int:
+    """Diff the two planes' executed pipelines through the epoch engine.
+
+    Runs one identical workload (same ratings, channel stack, even
+    partition) through :class:`SimBackend` and :class:`ProcessBackend`
+    and compares the engine's stage trace: the executed ``(epoch,
+    stage)`` sequence and the per-epoch per-worker SGD update counts.
+    Any divergence means the planes no longer run the same pipeline.
+    """
+    from repro.data.datasets import get_dataset
+    from repro.engine import EpochEngine, ProcessBackend, QOnlyChannel, SimBackend
+    from repro.experiments.platforms import workers_platform
+
+    spec = get_dataset(args.dataset)
+    ratings = spec.scaled(args.nnz).generate(seed=args.seed)
+
+    sim_backend = SimBackend(
+        workers_platform(args.workers),
+        ratings=ratings,
+        eval_data=ratings,
+        k=args.k,
+        lr=args.lr,
+        reg=0.02,
+        batch_size=2048,
+        seed=args.seed,
+    )
+    sim = EpochEngine(sim_backend, channel=QOnlyChannel()).run(args.epochs)
+
+    proc_backend = ProcessBackend(
+        ratings,
+        k=args.k,
+        n_workers=args.workers,
+        lr=args.lr,
+        reg=0.02,
+        batch_size=2048,
+        seed=args.seed,
+    )
+    proc = EpochEngine(proc_backend, channel=QOnlyChannel()).run(args.epochs)
+
+    ok = True
+    if sim.stage_sequence() != proc.stage_sequence():
+        ok = False
+        print("FAIL: stage sequences diverge")
+        print(f"  sim ({sim.backend}):     {sim.stage_sequence()}")
+        print(f"  process ({proc.backend}): {proc.stage_sequence()}")
+    else:
+        print(f"stage sequence: identical — {len(sim.stage_trace)} stages "
+              f"over {args.epochs} epochs "
+              f"({' -> '.join(s for _, s in sim.stage_sequence()[:4])} per epoch)")
+    sim_updates, proc_updates = sim.epoch_updates(), proc.epoch_updates()
+    if sim_updates != proc_updates:
+        ok = False
+        print("FAIL: per-epoch update counts diverge")
+        for epoch in sorted(set(sim_updates) | set(proc_updates)):
+            print(f"  epoch {epoch}: sim {sim_updates.get(epoch)} "
+                  f"vs process {proc_updates.get(epoch)}")
+    else:
+        print(f"update counts: identical — {sim.updates_applied:,} SGD "
+              f"updates per plane across {args.workers} workers")
+    print(f"parity: {'OK' if ok else 'FAILED'} "
+          f"(dataset {spec.name}, nnz {ratings.nnz}, k {args.k})")
+    return 0 if ok else 1
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -422,6 +526,19 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--metrics", metavar="FILE",
                      help="metrics JSONL written by train --metrics")
 
+    parity = sub.add_parser(
+        "engine-parity",
+        help="diff the sim and process planes' executed pipelines",
+    )
+    parity.add_argument("--dataset", default="Netflix", help="Table 3 name")
+    parity.add_argument("--nnz", type=int, default=4000, help="synthetic scale")
+    parity.add_argument("--epochs", type=int, default=2)
+    parity.add_argument("--k", type=int, default=8)
+    parity.add_argument("--lr", type=float, default=0.01)
+    parity.add_argument("--seed", type=int, default=0)
+    parity.add_argument("--workers", type=int, default=2,
+                        help="worker count in both planes (1..4)")
+
     race = sub.add_parser(
         "race-check",
         help="prove P-row ownership + one-copy discipline dynamically",
@@ -448,6 +565,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "obs-report": _cmd_obs_report,
     "race-check": _cmd_race_check,
+    "engine-parity": _cmd_engine_parity,
 }
 
 

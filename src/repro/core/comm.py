@@ -26,7 +26,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.compression import compress_fp16, decompress_fp16, wire_bytes
+from repro.core.compression import compress_fp16, decompress_fp16
 from repro.core.config import CommBackendKind, CommConfig, TransmitMode
 from repro.data.datasets import DatasetSpec
 from repro.hardware.specs import BusSpec
@@ -62,36 +62,17 @@ class CommPlan:
         The AUTO transmit mode resolves against the *grid-major* side:
         HCC-MF transposes column-grid problems, so the recurring matrix
         is whichever side is smaller.
+
+        The strategy byte math itself lives in one place — the channel
+        middlewares of :mod:`repro.engine.channels` — and this method
+        simply materializes the stack the config describes and asks it
+        (imported lazily: core stays import-independent of the engine).
         """
         if k <= 0:
             raise ValueError("k must be positive")
-        mode = comm.resolve_transmit(spec.m, spec.n)
-        big, small = max(spec.m, spec.n), min(spec.m, spec.n)
-        if mode is TransmitMode.Q_ONLY:
-            recurring_values = k * small
-            final_extra = wire_bytes(k * big, comm.fp16)
-            sync_values = k * small
-        elif mode is TransmitMode.Q_ROTATE:
-            # ring-rotated ownership (future-work mode): per epoch each
-            # worker receives and forwards (p-1)/p ~ 1 full circulation
-            # of Q — same gross bytes as Q_ONLY — but the transfers are
-            # peer-to-peer hops of Q/p each, which overlap the rotation
-            # steps' compute, and block ownership removes the server
-            # merge (sync) entirely.
-            recurring_values = k * small
-            final_extra = wire_bytes(k * big + k * small, comm.fp16)
-            sync_values = 0
-        else:
-            recurring_values = k * (spec.m + spec.n)
-            final_extra = 0
-            sync_values = k * (spec.m + spec.n)
-        nbytes = wire_bytes(recurring_values, comm.fp16)
-        return cls(
-            epoch_pull=nbytes,
-            epoch_push=nbytes,
-            final_push_extra=final_extra,
-            sync_values=sync_values,
-        )
+        from repro.engine.channels import channel_for
+
+        return channel_for(comm, spec.m, spec.n).comm_plan(spec, k)
 
     def total_bytes(self, epochs: int) -> int:
         """All bytes one worker moves over a full training run."""
@@ -153,9 +134,18 @@ class PullBuffer:
         shape: tuple[int, ...],
         fp16: bool = False,
         observer: BufferObserver | None = None,
+        channel=None,
     ):
-        self.fp16 = fp16
-        dtype = np.float16 if fp16 else np.float32
+        #: optional repro.engine channel stack owning the wire codec
+        #: (duck-typed — comm never imports repro.engine); when absent
+        #: the legacy fp16 flag selects the built-in codec
+        self.channel = channel
+        self.fp16 = bool(channel.wire_is_fp16) if channel is not None else fp16
+        dtype = (
+            np.dtype(channel.wire_dtype)
+            if channel is not None
+            else (np.float16 if self.fp16 else np.float32)
+        )
         self._buf = np.zeros(shape, dtype=dtype)
         self.copies_in = 0
         self.reads = 0
@@ -169,7 +159,9 @@ class PullBuffer:
         """Server -> buffer (the single per-epoch copy)."""
         if values.shape != self._buf.shape:
             raise ValueError(f"shape mismatch: {values.shape} vs {self._buf.shape}")
-        if self.fp16:
+        if self.channel is not None:
+            self.channel.encode(values, self._buf)
+        elif self.fp16:
             np.copyto(self._buf, compress_fp16(values))
         else:
             np.copyto(self._buf, values.astype(np.float32, copy=False))
@@ -177,14 +169,28 @@ class PullBuffer:
         if self.observer is not None:
             self.observer("deposit", None)
 
+    def _decode(self) -> np.ndarray:
+        if self.channel is not None:
+            return self.channel.decode(self._buf)
+        if self.fp16:
+            return decompress_fp16(self._buf)
+        return self._buf.copy()
+
     def read(self, worker: int | None = None) -> np.ndarray:
         """Worker view of the buffer contents, decompressed to FP32."""
         self.reads += 1
         if self.observer is not None:
             self.observer("read", worker)
-        if self.fp16:
-            return decompress_fp16(self._buf)
-        return self._buf.copy()
+        return self._decode()
+
+    def epoch_base(self) -> np.ndarray:
+        """The wire-accurate merge base: what workers will decode.
+
+        A server-side bookkeeping view — deliberately *not* counted as a
+        worker read, so the one-copy accounting the race detector checks
+        stays exact.
+        """
+        return self._decode()
 
 
 class PushBuffer:
@@ -200,9 +206,16 @@ class PushBuffer:
         fp16: bool = False,
         worker_id: int | None = None,
         observer: BufferObserver | None = None,
+        channel=None,
     ):
-        self.fp16 = fp16
-        dtype = np.float16 if fp16 else np.float32
+        #: optional repro.engine channel stack (see PullBuffer.channel)
+        self.channel = channel
+        self.fp16 = bool(channel.wire_is_fp16) if channel is not None else fp16
+        dtype = (
+            np.dtype(channel.wire_dtype)
+            if channel is not None
+            else (np.float16 if self.fp16 else np.float32)
+        )
         self._buf = np.zeros(shape, dtype=dtype)
         self.copies_in = 0
         self.consumed = 0
@@ -216,7 +229,9 @@ class PushBuffer:
     def deposit(self, values: np.ndarray) -> None:
         if values.shape != self._buf.shape:
             raise ValueError(f"shape mismatch: {values.shape} vs {self._buf.shape}")
-        if self.fp16:
+        if self.channel is not None:
+            self.channel.encode(values, self._buf)
+        elif self.fp16:
             np.copyto(self._buf, compress_fp16(values))
         else:
             np.copyto(self._buf, values.astype(np.float32, copy=False))
@@ -229,6 +244,8 @@ class PushBuffer:
         self.consumed += 1
         if self.observer is not None:
             self.observer("consume", None)
-        if self.fp16:
-            return decompress_fp16(self._buf)
-        return self._buf  # in-place consumption: zero-copy
+        if self._buf.dtype == np.float32:
+            return self._buf  # in-place consumption: zero-copy
+        if self.channel is not None:
+            return self.channel.decode(self._buf)
+        return decompress_fp16(self._buf)

@@ -33,7 +33,6 @@ from repro.core.config import HCCConfig, TransmitMode
 from repro.core.cost_model import EpochCost, Regime, TimeCostModel
 from repro.core.metrics import computing_power, ideal_computing_power, utilization
 from repro.core.partition import PartitionPlan
-from repro.core.server import ParameterServer
 from repro.core.worker import WorkerRuntime
 from repro.data.datasets import DatasetSpec
 from repro.data.grid import GridKind, choose_grid, partition_rows
@@ -73,9 +72,33 @@ class TrainResult:
         return self.rmse_history[-1]
 
     def time_axis(self) -> list[float]:
-        """Simulated cumulative time at the end of each epoch (Fig. 7d-f)."""
-        per_epoch = self.total_time / self.epochs
-        return [per_epoch * (i + 1) for i in range(self.epochs)]
+        """Simulated cumulative time at the end of each epoch (Fig. 7d-f).
+
+        Derived from the timeline's per-epoch spans, so staggered
+        schedules (DP2's hidden synchronization) report the instant the
+        server really finishes each epoch rather than a uniform
+        ``total_time / epochs`` smear.  Epochs beyond the timeline's
+        rendered window extend at the analytic steady-state epoch cost;
+        Strategy 1's once-at-the-end P push lands on the final epoch
+        only, not spread across all of them.
+        """
+        span_ends: dict[int, float] = {}
+        for span in self.timeline.spans:
+            prev = span_ends.get(span.epoch, 0.0)
+            span_ends[span.epoch] = max(prev, span.end)
+        steady = self.epoch_cost.total
+        axis: list[float] = []
+        prev_end = 0.0
+        for epoch in range(self.epochs):
+            end = span_ends.get(epoch, prev_end + steady)
+            if end <= prev_end:  # degenerate timeline: keep monotone
+                end = prev_end + steady
+            axis.append(end)
+            prev_end = end
+        final_extra = self.total_time - self.epochs * steady
+        if final_extra > 0:
+            axis[-1] += final_extra
+        return axis
 
 
 class HCCMF:
@@ -217,87 +240,59 @@ class HCCMF:
     def _train_numeric(
         self, epochs: int, eval_data: RatingMatrix | None, telemetry=None
     ) -> tuple[MFModel, list[float]]:
+        """Numeric plane: delegate the epoch loop to the EpochEngine.
+
+        The engine runs the pull/compute/push/sync stage pipeline over a
+        :class:`~repro.engine.backends.SimBackend`; the channel stack is
+        built from this run's CommConfig, so Strategy 1/2/3 knobs act on
+        the same object the cost model's byte accounting uses.  The
+        rotation mode keeps its own loop (ownership rotation has no
+        pull/push/sync stages).
+        """
         data = self._numeric_data
         eval_set = eval_data if eval_data is not None else data
-        registry = telemetry.registry if telemetry is not None else None
-        model = MFModel.init_for(data, self.config.k, seed=self.config.seed)
-        runtimes = [
-            WorkerRuntime(
-                i,
-                proc,
-                assignment,
-                data,
-                batch_size=self.config.batch_size,
-                seed=self.config.seed,
-                metrics=registry,
-            )
-            for i, (proc, assignment) in enumerate(
-                zip(self.platform.workers, self._assignments)
-            )
-        ]
         mode = self.config.comm.resolve_transmit(self.dataset.m, self.dataset.n)
         if mode is TransmitMode.Q_ROTATE:
+            registry = telemetry.registry if telemetry is not None else None
+            model = MFModel.init_for(data, self.config.k, seed=self.config.seed)
+            runtimes = [
+                WorkerRuntime(
+                    i,
+                    proc,
+                    assignment,
+                    data,
+                    batch_size=self.config.batch_size,
+                    seed=self.config.seed,
+                    metrics=registry,
+                )
+                for i, (proc, assignment) in enumerate(
+                    zip(self.platform.workers, self._assignments)
+                )
+            ]
             return self._train_numeric_rotate(epochs, eval_set, model, runtimes)
 
-        server = ParameterServer(
-            model,
-            self.platform.n_workers,
-            fp16_wire=self.config.comm.fp16,
-            metrics=registry,
+        # imported lazily: core stays importable without the engine layer
+        from repro.engine import EpochEngine, SimBackend, channel_for
+
+        backend = SimBackend(
+            self.platform,
+            ratings=data,
+            eval_data=eval_set,
+            k=self.config.k,
+            lr=self.lr,
+            reg=self.reg,
+            batch_size=self.config.batch_size,
+            seed=self.config.seed,
+            cost_model=self.cost_model,
         )
-        history: list[float] = []
-        if telemetry is None:
-            for _ in range(epochs):
-                server.begin_epoch()
-                for rt in runtimes:
-                    q_local = server.pull()
-                    q_new, _ = rt.run_epoch(model.P, q_local, self.lr, self.reg)
-                    # row-grid workers train on disjoint samples, so their Q
-                    # deltas represent distinct SGD steps and merge additively
-                    # (weight 1.0); averaging would under-apply the epoch's
-                    # updates and slow convergence
-                    server.push_and_sync(rt.worker_id, q_new, 1.0)
-                history.append(model.rmse(eval_set))
-            return model, history
-
-        # instrumented variant: same loop with wall-clock spans.  The
-        # numeric plane is in-process and serial, so the Timeline shows
-        # what this substrate really does: workers take turns
-        import time
-
-        timeline = Timeline()
-        t_origin = time.perf_counter()
-        for epoch in range(epochs):
-            server.begin_epoch()
-            for rt in runtimes:
-                lane = f"worker-{rt.worker_id}"
-                t0 = time.perf_counter() - t_origin
-                q_local = server.pull(worker=rt.worker_id)
-                t1 = time.perf_counter() - t_origin
-                timeline.add(lane, Phase.PULL, t0, t1, epoch)
-                q_new, _ = rt.run_epoch(model.P, q_local, self.lr, self.reg)
-                t2 = time.perf_counter() - t_origin
-                timeline.add(lane, Phase.COMPUTE, t1, t2, epoch)
-                # additive merge, weight 1.0 — see the uninstrumented
-                # branch for why
-                server.push_and_sync(rt.worker_id, q_new, 1.0)
-                m0, m1 = server.last_merge_interval
-                # push = the worker's deposit; the merge tail is the
-                # server's sync, on its own lane
-                timeline.add(lane, Phase.PUSH, t2, m0 - t_origin, epoch)
-                timeline.add(
-                    "server", Phase.SYNC, m0 - t_origin, m1 - t_origin, epoch
-                )
-            e0 = time.perf_counter() - t_origin
-            rmse = model.rmse(eval_set)
-            timeline.add("server", Phase.EVAL, e0, time.perf_counter() - t_origin, epoch)
-            history.append(rmse)
-            registry.gauge("epoch_rmse", "training RMSE at epoch end").set(
-                rmse, epoch=epoch
-            )
-            registry.event("epoch", epoch=epoch, rmse=rmse)
-        telemetry.timeline = timeline
-        return model, history
+        engine = EpochEngine(
+            backend,
+            channel=channel_for(self.config.comm, data.m, data.n),
+            partitions=self.plan,
+            telemetry=telemetry,
+        )
+        result = engine.run(epochs)
+        return backend.model, result.rmse_history
 
     def _train_numeric_rotate(
         self,
@@ -320,7 +315,9 @@ class HCCMF:
         for rt in runtimes:
             rt.prepare_column_blocks(edges)
         history: list[float] = []
-        for _ in range(epochs):
+        # sanctioned non-pipeline loop: rotation has no pull/push/sync
+        # stages for EpochEngine to drive
+        for _ in range(epochs):  # hcclint: disable=epoch-loop
             for step in range(p):
                 for i, rt in enumerate(runtimes):
                     rt.run_rotation_step(model, (i + step) % p, self.lr, self.reg)

@@ -41,15 +41,24 @@ class ParameterServer:
         n_workers: int,
         fp16_wire: bool = False,
         metrics=None,
+        channel=None,
     ):
         if n_workers <= 0:
             raise ValueError("need at least one worker")
         self.model = model
         self.n_workers = n_workers
-        self.fp16_wire = fp16_wire
-        self.pull_buffer = PullBuffer(model.Q.shape, fp16=fp16_wire)
+        #: optional repro.engine channel stack (duck-typed — core never
+        #: imports repro.engine); it owns the wire codec when present
+        self.channel = channel
+        self.fp16_wire = (
+            bool(channel.wire_is_fp16) if channel is not None else fp16_wire
+        )
+        self.pull_buffer = PullBuffer(
+            model.Q.shape, fp16=self.fp16_wire, channel=channel
+        )
         self.push_buffers = [
-            PushBuffer(model.Q.shape, fp16=fp16_wire, worker_id=i)
+            PushBuffer(model.Q.shape, fp16=self.fp16_wire, worker_id=i,
+                       channel=channel)
             for i in range(n_workers)
         ]
         self._q_base: np.ndarray | None = None
@@ -64,9 +73,14 @@ class ParameterServer:
 
     # ------------------------------------------------------------------
     def begin_epoch(self) -> None:
-        """Snapshot Q and publish it to the pull buffer (one copy)."""
-        self._q_base = self.model.Q.copy()
+        """Publish Q to the pull buffer (one copy) and snapshot the base.
+
+        The merge base is decoded *off the wire* — the exact (possibly
+        quantized) matrix workers will pull — so wire-format error on
+        the pull side cancels out of the delta merge.
+        """
         self.pull_buffer.deposit(self.model.Q)
+        self._q_base = self.pull_buffer.epoch_base()
         self.epochs_started += 1
 
     def pull(self, worker: int | None = None) -> np.ndarray:
@@ -81,27 +95,38 @@ class ParameterServer:
             raise RuntimeError("pull before begin_epoch")
         out = self.pull_buffer.read(worker=worker)
         if self.metrics is not None:
+            # wire-accurate accounting: the buffer's footprint is what
+            # actually crossed, so FP16 stacks report half the bytes
             self.metrics.counter(
                 "bytes_pulled_total", "bytes pulled per worker"
-            ).inc(out.nbytes, worker=f"worker-{worker}" if worker is not None else "all")
+            ).inc(
+                self.pull_buffer.nbytes,
+                worker=f"worker-{worker}" if worker is not None else "all",
+            )
         return out
 
-    def push_and_sync(self, worker_id: int, q_local: np.ndarray, weight: float) -> None:
-        """A worker's push followed by the server's merge.
-
-        The worker deposits into its own push buffer (its single copy);
-        the server consumes the buffer in place and applies the weighted
-        delta merge.
-        """
+    def push(self, worker_id: int, q_local: np.ndarray) -> None:
+        """A worker's push: deposit into its own push buffer (one copy)."""
         if self._q_base is None:
             raise RuntimeError("push before begin_epoch")
-        if not (0.0 <= weight <= 1.0):
-            raise ValueError("weight must be in [0, 1]")
         if not (0 <= worker_id < self.n_workers):
             raise IndexError(f"worker_id {worker_id} out of range")
         buf = self.push_buffers[worker_id]
         buf.deposit(q_local)
-        received = buf.consume()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "bytes_pushed_total", "bytes pushed per worker"
+            ).inc(buf.nbytes, worker=f"worker-{worker_id}")
+
+    def sync(self, worker_id: int, weight: float = 1.0) -> None:
+        """The server's merge of one worker's pushed result."""
+        if self._q_base is None:
+            raise RuntimeError("sync before begin_epoch")
+        if not (0.0 <= weight <= 1.0):
+            raise ValueError("weight must be in [0, 1]")
+        if not (0 <= worker_id < self.n_workers):
+            raise IndexError(f"worker_id {worker_id} out of range")
+        received = self.push_buffers[worker_id].consume()
         t0 = time.perf_counter() if self.metrics is not None else 0.0
         # three memory ops + multiply-add per value, as Eq. 3 charges:
         # read global, read delta, write global
@@ -111,12 +136,23 @@ class ParameterServer:
         if self.metrics is not None:
             t1 = time.perf_counter()
             self.last_merge_interval = (t0, t1)
-            self.metrics.counter(
-                "bytes_pushed_total", "bytes pushed per worker"
-            ).inc(q_local.nbytes, worker=f"worker-{worker_id}")
             self.metrics.histogram(
                 "merge_seconds", "server delta-merge time per sync"
             ).observe(t1 - t0)
+
+    def push_and_sync(self, worker_id: int, q_local: np.ndarray, weight: float) -> None:
+        """A worker's push followed immediately by the server's merge.
+
+        The engine drives :meth:`push` and :meth:`sync` as separate
+        pipeline stages; this combined form serves callers that want
+        the classic interleaved step.
+        """
+        if self._q_base is None:
+            raise RuntimeError("push before begin_epoch")
+        if not (0.0 <= weight <= 1.0):
+            raise ValueError("weight must be in [0, 1]")
+        self.push(worker_id, q_local)
+        self.sync(worker_id, weight)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,85 @@
+"""repro.engine: the composable epoch pipeline both planes run on.
+
+One epoch is the same pipeline everywhere::
+
+    PartitionProvider -> Channel.pull -> ComputeBackend -> Channel.push -> SyncPolicy
+
+* :mod:`repro.engine.pipeline` — :class:`EpochEngine` drives the stage
+  sequence and owns run-level telemetry emission;
+* :mod:`repro.engine.channels` — the paper's communication strategies
+  (3.4) as stackable middlewares serving both the sim byte accounting
+  and the real wire buffers;
+* :mod:`repro.engine.backends` — :class:`SimBackend` (in-process +
+  cost-model clock) and :class:`ProcessBackend` (OS workers over shared
+  memory) behind one protocol;
+* :mod:`repro.engine.partitions` — providers that turn DP0/DP1/DP2
+  plans, raw fractions or measurements into the engine's partition.
+
+``HCCMF.train`` and ``SharedMemoryTrainer.train`` are thin facades over
+this layer; new epoch-loop code belongs here (enforced by hcclint rule
+HCC111).
+"""
+
+from repro.engine.backends import (
+    DEFAULT_BARRIER_TIMEOUT_S,
+    ProcessBackend,
+    SimBackend,
+    WorkerSyncError,
+)
+from repro.engine.channels import (
+    Channel,
+    DoubleBufferChannel,
+    Fp16Channel,
+    QOnlyChannel,
+    QRotateChannel,
+    WireTraffic,
+    channel_for,
+)
+from repro.engine.partitions import (
+    CostModelProvider,
+    EvenProvider,
+    FixedPlanProvider,
+    FractionsProvider,
+    PartitionProvider,
+    as_provider,
+    provider_from,
+)
+from repro.engine.pipeline import (
+    STAGES,
+    AdditiveDeltaSync,
+    ComputeBackend,
+    EngineResult,
+    EpochEngine,
+    StageEvent,
+    SyncPolicy,
+    WeightedAverageSync,
+)
+
+__all__ = [
+    "AdditiveDeltaSync",
+    "Channel",
+    "ComputeBackend",
+    "CostModelProvider",
+    "DEFAULT_BARRIER_TIMEOUT_S",
+    "DoubleBufferChannel",
+    "EngineResult",
+    "EpochEngine",
+    "EvenProvider",
+    "FixedPlanProvider",
+    "Fp16Channel",
+    "FractionsProvider",
+    "PartitionProvider",
+    "ProcessBackend",
+    "QOnlyChannel",
+    "QRotateChannel",
+    "STAGES",
+    "SimBackend",
+    "StageEvent",
+    "SyncPolicy",
+    "WeightedAverageSync",
+    "WireTraffic",
+    "WorkerSyncError",
+    "as_provider",
+    "channel_for",
+    "provider_from",
+]

@@ -1,0 +1,628 @@
+"""Compute backends: what each pipeline stage means on a real substrate.
+
+Two substrates implement the :class:`~repro.engine.pipeline.ComputeBackend`
+protocol:
+
+* :class:`SimBackend` — the in-process plane.  Workers are
+  :class:`~repro.core.worker.WorkerRuntime` objects taking turns on the
+  host; feature traffic flows through a
+  :class:`~repro.core.server.ParameterServer`'s pull/push buffers; an
+  optional :class:`~repro.core.cost_model.TimeCostModel` advances the
+  simulated clock one epoch cost per epoch (the "cost-model advance").
+* :class:`ProcessBackend` — the wall-clock plane.  The calling process
+  is the server, every worker is an OS process (paper 3.5), and all
+  feature traffic crosses :class:`~repro.parallel.shm.SharedArray`
+  segments whose dtype is the channel stack's wire format, so Q-only
+  payloads, FP16 wire and double-buffered pulls run for real.
+
+Both backends execute the identical stage sequence under
+:class:`~repro.engine.pipeline.EpochEngine`; the ``engine-parity`` CI
+stage diffs their stage traces and per-worker update counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from contextlib import ExitStack
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.data.grid import GridKind, partition_rows
+from repro.data.ratings import RatingMatrix
+from repro.engine.channels import Channel
+from repro.hardware.timeline import Phase, Timeline
+from repro.mf.kernels import ConflictPolicy, sgd_batch_update
+from repro.mf.model import MFModel
+from repro.parallel.shm import SharedArray, SharedArraySpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.pipeline import SyncPolicy
+    from repro.obs import Telemetry
+
+#: Default ceiling on any cross-process rendezvous (barriers, joins);
+#: overridable per run via ``HCCConfig.barrier_timeout_s``.
+DEFAULT_BARRIER_TIMEOUT_S = 120.0
+
+#: ring slots per epoch when instrumented: pull + compute + push + two
+#: barrier waits, plus one spare
+_SPANS_PER_EPOCH = 6
+
+
+class WorkerSyncError(RuntimeError):
+    """A barrier rendezvous failed; names the ranks that never arrived."""
+
+    def __init__(self, point: str, epoch: int, missing_ranks: tuple[int, ...],
+                 timeout_s: float):
+        self.point = point
+        self.epoch = epoch
+        self.missing_ranks = missing_ranks
+        names = ", ".join(f"worker-{r}" for r in missing_ranks) or "unknown rank"
+        super().__init__(
+            f"a worker process failed mid-epoch: {names} did not reach the "
+            f"{point} barrier of epoch {epoch} within {timeout_s:.0f}s; "
+            f"shared state has been cleaned up"
+        )
+
+
+# ---------------------------------------------------------------------------
+# sim backend (in-process numerics + cost-model clock)
+# ---------------------------------------------------------------------------
+class SimBackend:
+    """In-process workers over buffer objects, with a simulated clock.
+
+    ``ratings`` must already be in row-grid orientation and shuffled
+    (what :meth:`repro.core.framework.HCCMF.prepare` produces); the
+    backend partitions them by the engine-resolved plan.  ``cost_model``
+    is optional: when given, every epoch advances :attr:`sim_seconds`
+    by that plan's analytic epoch cost.
+    """
+
+    name = "sim"
+
+    def __init__(
+        self,
+        platform,
+        ratings: RatingMatrix,
+        eval_data: RatingMatrix | None = None,
+        k: int = 32,
+        lr: float = 0.005,
+        reg: float = 0.01,
+        batch_size: int = 4096,
+        seed: int = 0,
+        cost_model=None,
+    ):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.platform = platform
+        self.ratings = ratings
+        self.eval_data = eval_data
+        self.k = k
+        self.lr = lr
+        self.reg = reg
+        self.batch_size = batch_size
+        self.seed = seed
+        self.cost_model = cost_model
+        self.n_workers = platform.n_workers
+        self.model: MFModel | None = None
+        self.sim_seconds = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+    def open(self, plan, channel: Channel, sync_policy: "SyncPolicy",
+             telemetry, epochs: int) -> None:
+        from repro.core.server import ParameterServer
+        from repro.core.worker import WorkerRuntime
+
+        data = self.ratings
+        self._eval_set = self.eval_data if self.eval_data is not None else data
+        self._fractions = plan.fractions
+        self._channel = channel
+        self._sync_policy = sync_policy
+        registry = telemetry.registry if telemetry is not None else None
+        self.model = MFModel.init_for(data, self.k, seed=self.seed)
+        assignments = partition_rows(data, plan.fractions, GridKind.ROW)
+        self.runtimes = [
+            WorkerRuntime(
+                i, proc, assignment, data,
+                batch_size=self.batch_size, seed=self.seed, metrics=registry,
+            )
+            for i, (proc, assignment) in enumerate(
+                zip(self.platform.workers, assignments)
+            )
+        ]
+        self.server = ParameterServer(
+            self.model, self.n_workers, channel=channel, metrics=registry,
+        )
+        self._epoch_sim_cost = (
+            self.cost_model.epoch_cost(plan.fractions).total
+            if self.cost_model is not None
+            else 0.0
+        )
+        self.sim_seconds = 0.0
+        # wall-clock spans only when telemetry opts the run in — the
+        # default path stays untimed
+        self._timed = telemetry is not None
+        self._timeline = Timeline() if self._timed else None
+        self._t_origin = time.perf_counter() if self._timed else 0.0
+        self._q_locals: list[np.ndarray] = []
+        self._q_news: list[np.ndarray] = []
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t_origin
+
+    # -- stages ----------------------------------------------------------
+    def pull(self, epoch: int) -> Mapping:
+        self.server.begin_epoch()
+        self._q_locals = []
+        for rt in self.runtimes:
+            if self._timed:
+                t0 = self._now()
+            q_local = self.server.pull(worker=rt.worker_id)
+            if self._timed:
+                self._timeline.add(
+                    f"worker-{rt.worker_id}", Phase.PULL, t0, self._now(), epoch
+                )
+            self._q_locals.append(q_local)
+        nbytes = self.server.pull_buffer.nbytes
+        return {"wire_bytes": nbytes * self.n_workers, "per_worker_bytes": nbytes}
+
+    def compute(self, epoch: int) -> Mapping:
+        self._q_news = []
+        for rt, q_local in zip(self.runtimes, self._q_locals):
+            if self._timed:
+                t0 = self._now()
+            q_new, _ = rt.run_epoch(self.model.P, q_local, self.lr, self.reg)
+            if self._timed:
+                self._timeline.add(
+                    f"worker-{rt.worker_id}", Phase.COMPUTE, t0, self._now(), epoch
+                )
+            self._q_news.append(q_new)
+        return {"updates": tuple(rt.nnz for rt in self.runtimes)}
+
+    def push(self, epoch: int) -> Mapping:
+        for rt, q_new in zip(self.runtimes, self._q_news):
+            if self._timed:
+                t0 = self._now()
+            self.server.push(rt.worker_id, q_new)
+            if self._timed:
+                self._timeline.add(
+                    f"worker-{rt.worker_id}", Phase.PUSH, t0, self._now(), epoch
+                )
+        nbytes = self.server.push_buffers[0].nbytes
+        return {"wire_bytes": nbytes * self.n_workers, "per_worker_bytes": nbytes}
+
+    def sync(self, epoch: int) -> Mapping:
+        for i, rt in enumerate(self.runtimes):
+            weight = self._sync_policy.weight(i, self._fractions)
+            if self._timed:
+                t0 = self._now()
+            self.server.sync(rt.worker_id, weight)
+            if self._timed:
+                self._timeline.add("server", Phase.SYNC, t0, self._now(), epoch)
+        self.sim_seconds += self._epoch_sim_cost
+        return {"merges": self.n_workers,
+                "merged_values": int(self.model.Q.size) * self.n_workers}
+
+    def evaluate(self, epoch: int) -> float:
+        if self._timed:
+            t0 = self._now()
+        rmse = self.model.rmse(self._eval_set)
+        if self._timed:
+            self._timeline.add("server", Phase.EVAL, t0, self._now(), epoch)
+        return rmse
+
+    def finalize(self, telemetry) -> None:
+        if telemetry is not None and self._timeline is not None:
+            telemetry.timeline = self._timeline
+
+    def close(self) -> None:
+        self._q_locals = []
+        self._q_news = []
+
+
+# ---------------------------------------------------------------------------
+# process backend (OS workers over shared memory)
+# ---------------------------------------------------------------------------
+def _train_shard(
+    model: MFModel,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    rng: np.random.Generator,
+    batch_size: int,
+    lr: float,
+    reg: float,
+) -> None:
+    """One epoch of batched SGD over this worker's shard."""
+    n = len(vals)
+    order = rng.permutation(n)
+    for lo in range(0, n, batch_size):
+        sel = order[lo : lo + batch_size]
+        sgd_batch_update(
+            model, rows[sel], cols[sel], vals[sel], lr, reg,
+            policy=ConflictPolicy.ATOMIC,
+        )
+
+
+def _worker_main(
+    worker_id: int,
+    p_spec: SharedArraySpec,
+    pull_specs: tuple[SharedArraySpec, ...],
+    push_spec: SharedArraySpec,
+    progress_spec: SharedArraySpec,
+    channel: Channel,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    epochs: int,
+    lr: float,
+    reg: float,
+    batch_size: int,
+    seed: int,
+    start_barrier,
+    end_barrier,
+    barrier_timeout_s: float,
+    span_spec=None,
+    fail_at_epoch: int = -1,
+) -> None:
+    """Worker process body: epochs of pull -> train -> push.
+
+    The channel stack travels into the process by pickling (channels are
+    stateless) and owns the wire codec: ``decode`` is the worker's
+    single per-epoch copy out of the shared pull buffer, ``encode`` its
+    single copy into the push buffer.  ``pull_specs`` carries
+    ``channel.depth`` rotating buffers (Strategy 3).  Before each
+    barrier the worker stamps ``progress[worker_id]`` so the server can
+    name missing ranks on a broken rendezvous.  ``span_spec`` switches
+    on the instrumented variant; ``fail_at_epoch`` is a fault-injection
+    hook for tests.
+    """
+    rng = np.random.default_rng(seed + 1000 * (worker_id + 1))
+    # ExitStack closes every attached segment even if a later attach
+    # fails partway through (a bare attach-then-try would leak the
+    # earlier mappings on that path)
+    with ExitStack() as stack:
+        p_shared = stack.enter_context(SharedArray.attach(p_spec))
+        pull_bufs = [
+            stack.enter_context(SharedArray.attach(spec)) for spec in pull_specs
+        ]
+        push_buf = stack.enter_context(SharedArray.attach(push_spec))
+        progress = stack.enter_context(SharedArray.attach(progress_spec))
+        rec = None
+        if span_spec is not None:
+            # imported here so the uninstrumented path never touches
+            # repro.obs (and to avoid an import cycle via repro.parallel)
+            from repro.obs.spans import SpanRecorder, SpanRing
+
+            rec = SpanRecorder(stack.enter_context(SpanRing.attach(span_spec)))
+        for epoch in range(epochs):
+            if epoch == fail_at_epoch:
+                start_barrier.abort()
+                raise RuntimeError(f"injected failure in worker {worker_id}")
+            pull_buf = pull_bufs[epoch % len(pull_bufs)]
+            progress.array[worker_id] = 2 * epoch + 1
+            if rec is None:
+                start_barrier.wait(timeout=barrier_timeout_s)
+                # pull: the worker's single per-epoch copy out of the
+                # shared pull buffer, decoded off the wire (paper 3.5)
+                q_local = channel.decode(pull_buf.array)
+                model = MFModel(p_shared.array, q_local)
+                _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
+                # push: one encode into this worker's shared push buffer
+                channel.encode(model.Q, push_buf.array)
+                progress.array[worker_id] = 2 * epoch + 2
+                end_barrier.wait(timeout=barrier_timeout_s)
+            else:
+                t0 = time.perf_counter()
+                start_barrier.wait(timeout=barrier_timeout_s)
+                rec.record(Phase.BARRIER, epoch, t0, time.perf_counter())
+                with rec.span(Phase.PULL, epoch):
+                    # the same single per-epoch pull decode, timed
+                    q_local = channel.decode(pull_buf.array)
+                model = MFModel(p_shared.array, q_local)
+                with rec.span(Phase.COMPUTE, epoch):
+                    _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
+                with rec.span(Phase.PUSH, epoch):
+                    channel.encode(model.Q, push_buf.array)
+                t1 = time.perf_counter()
+                progress.array[worker_id] = 2 * epoch + 2
+                end_barrier.wait(timeout=barrier_timeout_s)
+                rec.record(Phase.BARRIER, epoch, t1, time.perf_counter())
+
+
+class ProcessBackend:
+    """OS worker processes over shared memory (wall-clock plane).
+
+    The calling process acts as the server: per epoch it encodes Q onto
+    the wire (pull stage), releases the start barrier, awaits the end
+    barrier (push stage), and applies the sync policy's delta merge
+    against the wire-accurate epoch base — the exact matrix workers
+    decoded, so FP16 pull quantization cancels out of the deltas.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        ratings: RatingMatrix,
+        k: int = 32,
+        n_workers: int = 2,
+        lr: float = 0.005,
+        reg: float = 0.01,
+        batch_size: int = 4096,
+        seed: int = 0,
+        barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
+        fail_worker_at: tuple[int, int] | None = None,
+    ):
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if barrier_timeout_s <= 0:
+            raise ValueError("barrier_timeout_s must be positive")
+        self.ratings = ratings
+        self.k = k
+        self.n_workers = n_workers
+        self.lr = lr
+        self.reg = reg
+        self.batch_size = batch_size
+        self.seed = seed
+        self.barrier_timeout_s = float(barrier_timeout_s)
+        #: fault-injection hook for tests: (worker_id, epoch) that crashes
+        self.fail_worker_at = fail_worker_at
+        self.model: MFModel | None = None
+        self.data: RatingMatrix | None = None
+        self._stack: ExitStack | None = None
+
+    @staticmethod
+    def _terminate_stragglers(procs: list) -> None:
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - crash cleanup
+                proc.terminate()
+
+    # -- lifecycle -------------------------------------------------------
+    def open(self, plan, channel: Channel, sync_policy: "SyncPolicy",
+             telemetry, epochs: int) -> None:
+        if channel.transmits_p:
+            raise ValueError(
+                "the process plane is Strategy-1 by construction (P lives in "
+                "shared memory and is updated in place); use a Q-only channel "
+                f"stack, not {channel.describe()!r}"
+            )
+        traffic = channel.traffic(2, 1, 1)
+        if traffic.sync_values == 0:
+            raise ValueError(
+                "q-rotate channels have no pull/push/sync stages; the "
+                "rotation loop runs only on the sim plane"
+            )
+        data = self.ratings.shuffle(self.seed)
+        assignments = partition_rows(data, plan.fractions, GridKind.ROW)
+        init = MFModel.init_for(data, self.k, seed=self.seed)
+        ctx = mp.get_context("spawn")
+
+        self.data = data
+        self._channel = channel
+        self._sync_policy = sync_policy
+        self._fractions = plan.fractions
+        self._telemetry = telemetry
+        self._registry = telemetry.registry if telemetry is not None else None
+        self._start_barrier = ctx.Barrier(self.n_workers + 1)
+        self._end_barrier = ctx.Barrier(self.n_workers + 1)
+        # once-per-run server-side snapshot  # hcclint: disable=hot-copy
+        self.model = MFModel(init.P.copy(), init.Q.copy())
+        self._q_base: np.ndarray | None = None
+        self._epochs = epochs
+        self._procs: list = []
+        self._rings: list = []
+        self._shard_nnz: list[int] = []
+        self._server_spans: list[tuple[Phase, int, float, float]] = []
+        self._t_origin = time.perf_counter()
+
+        # register each segment's unlink the moment it exists: if a later
+        # create (or anything else) raises, the earlier segments are
+        # still destroyed instead of leaking until reboot
+        self._stack = ExitStack()
+        try:
+            wire = channel.wire_dtype
+            self._p_shared = SharedArray.create(init.P.shape, "float32")
+            self._stack.callback(self._p_shared.unlink)
+            self._pull_bufs = []
+            for _ in range(max(1, channel.depth)):
+                buf = SharedArray.create(init.Q.shape, wire)
+                self._stack.callback(buf.unlink)
+                self._pull_bufs.append(buf)
+            self._push_bufs = []
+            for _ in range(self.n_workers):
+                buf = SharedArray.create(init.Q.shape, wire)
+                self._stack.callback(buf.unlink)
+                self._push_bufs.append(buf)
+            # per-rank barrier progress stamps, read only to diagnose a
+            # broken rendezvous (no synchronization on the happy path)
+            self._progress = SharedArray.create((self.n_workers,), "int64")
+            self._stack.callback(self._progress.unlink)
+            if telemetry is not None:
+                from repro.obs.spans import SpanRing
+
+                for wid in range(self.n_workers):
+                    ring = SpanRing.create(
+                        capacity=epochs * _SPANS_PER_EPOCH, worker=f"worker-{wid}"
+                    )
+                    self._stack.callback(ring.unlink)
+                    self._rings.append(ring)
+            np.copyto(self._p_shared.array, init.P)
+            # LIFO: registered last so stragglers die before any unlink
+            self._stack.callback(self._terminate_stragglers, self._procs)
+
+            for wid, a in enumerate(assignments):
+                shard = a.extract(data).sort_by_row()
+                self._shard_nnz.append(shard.nnz)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        wid,
+                        self._p_shared.spec,
+                        tuple(buf.spec for buf in self._pull_bufs),
+                        self._push_bufs[wid].spec,
+                        self._progress.spec,
+                        channel,
+                        shard.rows,
+                        shard.cols,
+                        shard.vals,
+                        epochs,
+                        self.lr,
+                        self.reg,
+                        self.batch_size,
+                        self.seed,
+                        self._start_barrier,
+                        self._end_barrier,
+                        self.barrier_timeout_s,
+                        self._rings[wid].spec if telemetry is not None else None,
+                        self.fail_worker_at[1]
+                        if self.fail_worker_at is not None
+                        and self.fail_worker_at[0] == wid
+                        else -1,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+        except BaseException:
+            self._stack.close()
+            self._stack = None
+            raise
+
+    def _await(self, barrier, point: str, epoch: int) -> None:
+        try:
+            barrier.wait(timeout=self.barrier_timeout_s)
+        except threading.BrokenBarrierError as exc:
+            expected = 2 * epoch + (1 if point == "start" else 2)
+            stamps = self._progress.array
+            missing = tuple(
+                rank for rank in range(self.n_workers) if stamps[rank] < expected
+            )
+            raise WorkerSyncError(
+                point, epoch, missing, self.barrier_timeout_s
+            ) from exc
+
+    # -- stages ----------------------------------------------------------
+    def pull(self, epoch: int) -> Mapping:
+        buf = self._pull_bufs[epoch % len(self._pull_bufs)]
+        self._channel.encode(self.model.Q, buf.array)
+        # the merge base is the exact matrix workers decode off the wire,
+        # so pull-side quantization error cancels out of the deltas
+        self._q_base = self._channel.decode(buf.array)
+        self._await(self._start_barrier, "start", epoch)
+        nbytes = buf.array.nbytes
+        return {"wire_bytes": nbytes * self.n_workers, "per_worker_bytes": nbytes}
+
+    def compute(self, epoch: int) -> Mapping:
+        # the SGD itself runs in the worker processes between the two
+        # barriers; the server-side stage records the shard workloads
+        return {"updates": tuple(self._shard_nnz)}
+
+    def push(self, epoch: int) -> Mapping:
+        self._await(self._end_barrier, "end", epoch)
+        nbytes = self._push_bufs[0].array.nbytes
+        return {"wire_bytes": nbytes * self.n_workers, "per_worker_bytes": nbytes}
+
+    def sync(self, epoch: int) -> Mapping:
+        timed = self._telemetry is not None
+        if timed:
+            m0 = time.perf_counter()
+        np.copyto(self.model.P, self._p_shared.array)
+        q_base = self._q_base
+        for wid, buf in enumerate(self._push_bufs):
+            wire = buf.array
+            received = (
+                wire if wire.dtype == np.float32 else self._channel.decode(wire)
+            )
+            weight = self._sync_policy.weight(wid, self._fractions)
+            # additive delta merge: workers trained on disjoint row-grid
+            # shards, so their Q deltas are distinct SGD steps and all
+            # of them apply
+            if weight == 1.0:
+                self.model.Q += received - q_base
+            else:
+                self.model.Q += np.float32(weight) * (received - q_base)
+        if timed:
+            m1 = time.perf_counter()
+            self._server_spans.append((Phase.SYNC, epoch, m0, m1))
+            self._registry.histogram(
+                "merge_seconds", "server delta-merge time per epoch"
+            ).observe(m1 - m0)
+        return {"merges": self.n_workers,
+                "merged_values": int(self.model.Q.size) * self.n_workers}
+
+    def evaluate(self, epoch: int) -> float:
+        timed = self._telemetry is not None
+        if timed:
+            e0 = time.perf_counter()
+        rmse = self.model.rmse(self.data)
+        if timed:
+            self._server_spans.append((Phase.EVAL, epoch, e0, time.perf_counter()))
+        return rmse
+
+    # -- teardown --------------------------------------------------------
+    def finalize(self, telemetry) -> None:
+        for proc in self._procs:
+            proc.join(timeout=self.barrier_timeout_s)
+        if telemetry is not None:
+            self._finalize_telemetry(telemetry)
+
+    def close(self) -> None:
+        if self._stack is not None:
+            self._stack.close()
+            self._stack = None
+
+    def _finalize_telemetry(self, telemetry: "Telemetry") -> None:
+        """Drain the span rings into the run's Timeline and registry.
+
+        Runs after the workers joined and *before* the rings unlink
+        (close()'s ExitStack teardown), so every record is final and
+        readable.
+        """
+        from repro.obs.drift import HostRunInfo
+        from repro.obs.spans import assemble_timeline
+
+        timeline, dropped = assemble_timeline(
+            self._rings, self._server_spans, origin=self._t_origin
+        )
+        registry = telemetry.registry
+        # wire-accurate per-epoch bytes: the actual shared-segment sizes,
+        # so FP16 stacks report half the FP32 traffic
+        pull_bytes = self._pull_bufs[0].array.nbytes
+        push_bytes = self._push_bufs[0].array.nbytes
+        epochs = self._epochs
+        updates = registry.counter("updates_total", "SGD updates applied")
+        pulled = registry.counter("bytes_pulled_total", "bytes pulled per worker")
+        pushed = registry.counter("bytes_pushed_total", "bytes pushed per worker")
+        barrier = registry.histogram(
+            "barrier_wait_seconds", "time workers spent waiting at barriers"
+        )
+        rate = registry.gauge("updates_per_second", "achieved per-worker rate")
+        for wid, ring in enumerate(self._rings):
+            worker = ring.worker
+            updates.inc(self._shard_nnz[wid] * epochs, worker=worker)
+            pulled.inc(pull_bytes * epochs, worker=worker)
+            pushed.inc(push_bytes * epochs, worker=worker)
+            compute_s = timeline.phase_total(Phase.COMPUTE, worker)
+            if compute_s > 0:
+                rate.set(self._shard_nnz[wid] * epochs / compute_s, worker=worker)
+        for span in timeline.spans:
+            if span.phase is Phase.BARRIER:
+                barrier.observe(span.duration, worker=span.worker)
+        telemetry.attach_run(
+            timeline,
+            dropped,
+            HostRunInfo(
+                worker_names=tuple(r.worker for r in self._rings),
+                shard_nnz=tuple(self._shard_nnz),
+                k=self.k,
+                m=self.data.m,
+                n=self.data.n,
+                epochs=epochs,
+            ),
+            ratings=self.data,
+        )

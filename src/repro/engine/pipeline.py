@@ -1,0 +1,209 @@
+"""The epoch engine: one composable training loop for every plane.
+
+The paper's training step (Figure 4, steps 4-7) is the same pipeline no
+matter which substrate executes it::
+
+    PartitionProvider -> Channel.pull -> ComputeBackend -> Channel.push -> SyncPolicy
+
+:class:`EpochEngine` drives that stage sequence.  Everything
+substrate-specific lives behind the :class:`ComputeBackend` protocol
+(:mod:`repro.engine.backends`): the sim plane advances the calibrated
+cost model and runs the in-process numeric kernels; the process plane
+coordinates real worker processes over shared memory.  Everything
+strategy-specific lives in the channel stack
+(:mod:`repro.engine.channels`) and the partition provider
+(:mod:`repro.engine.partitions`), so a strategy knob is turned in
+exactly one place and both planes feel it.
+
+The engine is also the single emission point for run-level telemetry:
+per-epoch RMSE gauges and events, and the stage trace — an auditable
+``(epoch, stage, detail)`` record that the parity gate diffs across
+backends to prove the planes execute the same sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.core.partition import PartitionPlan
+from repro.engine.channels import Channel
+from repro.engine.partitions import PartitionProvider, as_provider
+
+#: The fixed per-epoch stage sequence (paper Figure 4 steps 4-7).
+STAGES = ("pull", "compute", "push", "sync")
+
+
+# ---------------------------------------------------------------------------
+# sync policies (how worker results merge into the global model)
+# ---------------------------------------------------------------------------
+class SyncPolicy:
+    """Weighting of the server's delta merge ``Q += w * (Q_i - Q_base)``."""
+
+    name = "additive-delta"
+
+    def weight(self, worker_id: int, fractions: Sequence[float]) -> float:
+        """Merge weight for one worker's push."""
+        return 1.0
+
+
+class AdditiveDeltaSync(SyncPolicy):
+    """HCC-MF's default: ``w_i = 1``.
+
+    Row-grid workers train on disjoint samples, so their deltas are
+    distinct SGD steps that all apply; averaging would under-apply the
+    epoch's updates (see :mod:`repro.core.server`).
+    """
+
+
+class WeightedAverageSync(SyncPolicy):
+    """``w_i = x_i``: for entry-level partitions whose shards overlap."""
+
+    name = "weighted-average"
+
+    def weight(self, worker_id: int, fractions: Sequence[float]) -> float:
+        return float(fractions[worker_id])
+
+
+# ---------------------------------------------------------------------------
+# backend protocol
+# ---------------------------------------------------------------------------
+@runtime_checkable
+class ComputeBackend(Protocol):
+    """One epoch substrate: what each pipeline stage means for real.
+
+    ``open`` receives the resolved plan, channel stack, sync policy,
+    telemetry and epoch count before the first epoch (process backends
+    need the count up front to size span rings and spawn workers); the
+    four stage methods run once
+    per epoch in :data:`STAGES` order and return an accounting detail
+    mapping; ``evaluate`` closes the epoch (RMSE, or ``None`` on pure
+    timing runs); ``finalize`` attaches span artifacts to telemetry on
+    success; ``close`` releases resources unconditionally.
+    """
+
+    name: str
+    n_workers: int
+
+    def open(self, plan: PartitionPlan, channel: Channel,
+             sync_policy: SyncPolicy, telemetry, epochs: int) -> None: ...
+    def pull(self, epoch: int) -> Mapping: ...
+    def compute(self, epoch: int) -> Mapping: ...
+    def push(self, epoch: int) -> Mapping: ...
+    def sync(self, epoch: int) -> Mapping: ...
+    def evaluate(self, epoch: int) -> "float | None": ...
+    def finalize(self, telemetry) -> None: ...
+    def close(self) -> None: ...
+
+
+# ---------------------------------------------------------------------------
+# stage trace + result
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageEvent:
+    """One executed pipeline stage with its accounting detail."""
+
+    epoch: int
+    stage: str
+    detail: Mapping = field(default_factory=dict)
+
+
+@dataclass
+class EngineResult:
+    """Everything one engine run produced, backend-agnostic."""
+
+    backend: str
+    channel: str
+    sync_policy: str
+    plan: PartitionPlan
+    epochs: int
+    stage_trace: tuple[StageEvent, ...]
+    rmse_history: list[float]
+    model: object | None = field(default=None, repr=False)
+    sim_seconds: float = 0.0
+
+    def stage_sequence(self) -> list[tuple[int, str]]:
+        """The executed ``(epoch, stage)`` order — the parity signature."""
+        return [(e.epoch, e.stage) for e in self.stage_trace]
+
+    def epoch_updates(self) -> dict[int, tuple[int, ...]]:
+        """Per-epoch per-worker SGD update counts, from compute stages."""
+        out: dict[int, tuple[int, ...]] = {}
+        for event in self.stage_trace:
+            if event.stage == "compute" and "updates" in event.detail:
+                out[event.epoch] = tuple(event.detail["updates"])
+        return out
+
+    def wire_bytes(self, stage: str) -> int:
+        """Total bytes the trace accounts for one stage across epochs."""
+        if stage not in ("pull", "push"):
+            raise ValueError("wire bytes exist for the pull and push stages")
+        return sum(
+            int(e.detail.get("wire_bytes", 0))
+            for e in self.stage_trace
+            if e.stage == stage
+        )
+
+    @property
+    def updates_applied(self) -> int:
+        return sum(sum(u) for u in self.epoch_updates().values())
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+class EpochEngine:
+    """Drive the stage pipeline over a backend for a number of epochs."""
+
+    def __init__(
+        self,
+        backend: ComputeBackend,
+        channel: Channel | None = None,
+        partitions: "PartitionProvider | PartitionPlan | Sequence[float] | None" = None,
+        sync_policy: SyncPolicy | None = None,
+        telemetry=None,
+    ):
+        self.backend = backend
+        self.channel = channel if channel is not None else Channel()
+        self.partitions = as_provider(partitions)
+        self.sync_policy = sync_policy if sync_policy is not None else AdditiveDeltaSync()
+        self.telemetry = telemetry
+
+    def run(self, epochs: int) -> EngineResult:
+        """Execute ``epochs`` runs of the pull/compute/push/sync pipeline."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        plan = self.partitions.plan(self.backend.n_workers)
+        registry = self.telemetry.registry if self.telemetry is not None else None
+        trace: list[StageEvent] = []
+        rmse_history: list[float] = []
+        self.backend.open(
+            plan, self.channel, self.sync_policy, self.telemetry, epochs
+        )
+        try:
+            for epoch in range(epochs):
+                for stage in STAGES:
+                    detail = getattr(self.backend, stage)(epoch) or {}
+                    trace.append(StageEvent(epoch, stage, detail))
+                rmse = self.backend.evaluate(epoch)
+                if rmse is not None:
+                    rmse_history.append(rmse)
+                    if registry is not None:
+                        registry.gauge(
+                            "epoch_rmse", "training RMSE at epoch end"
+                        ).set(rmse, epoch=epoch)
+                        registry.event("epoch", epoch=epoch, rmse=rmse)
+            self.backend.finalize(self.telemetry)
+        finally:
+            self.backend.close()
+        return EngineResult(
+            backend=self.backend.name,
+            channel=self.channel.describe(),
+            sync_policy=self.sync_policy.name,
+            plan=plan,
+            epochs=epochs,
+            stage_trace=tuple(trace),
+            rmse_history=rmse_history,
+            model=getattr(self.backend, "model", None),
+            sim_seconds=float(getattr(self.backend, "sim_seconds", 0.0)),
+        )

@@ -7,55 +7,44 @@ all feature traffic flows through shared memory:
 
 * a shared **P** matrix — row-grid exclusivity lets workers update
   their user rows in place, no merging needed (Strategy 1's premise);
-* a shared **pull buffer** holding the epoch-base Q;
+* shared **pull buffers** (``channel.depth`` of them, rotated per
+  epoch) holding the epoch-base Q in the channel's wire format;
 * one shared **push buffer** per worker for its locally-updated Q.
 
-Per epoch: the server deposits Q into the pull buffer, a barrier
-releases the workers, each trains its shard asynchronously, deposits
-its Q into its push buffer, and a second barrier hands control back to
-the server, which applies the additive delta merge
-``Q += sum_i (Q_i - Q_base)`` (shards are disjoint, so every worker's
-updates count as distinct SGD steps).
-
-This demonstrates genuine multi-process parallel SGD with the one-copy
-communication discipline; wall-clock speedups depend on the host's
-cores and the GIL-free NumPy kernels.
+:class:`SharedMemoryTrainer` is a thin facade: the epoch loop itself
+lives in :class:`repro.engine.pipeline.EpochEngine` driving a
+:class:`repro.engine.backends.ProcessBackend`, which makes the paper's
+strategy axes real in this plane — ``channel=`` selects the wire stack
+(Q-only payloads, FP16 wire, double-buffered pulls) and ``partition=``
+accepts any :class:`~repro.core.partition.PartitionPlan` or provider
+(DP0/DP1/DP2 shard fractions), not just equal splits.
 
 Passing ``telemetry=`` (a :class:`repro.obs.Telemetry`) instruments the
 run: workers log pull/compute/push/barrier spans into per-worker
 shared-memory rings (:mod:`repro.obs.spans` — one-copy, no queues), the
 server adds sync/eval spans, and the run assembles a real
 :class:`~repro.hardware.timeline.Timeline` plus a metrics registry.
-With ``telemetry=None`` (the default) every timing call is skipped —
-the uninstrumented path is byte-for-byte the loop described above.
+With ``telemetry=None`` (the default) every timing call is skipped.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import threading
 import time
-from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-import numpy as np
-
-from repro.data.grid import GridKind, partition_rows
 from repro.data.ratings import RatingMatrix
-from repro.hardware.timeline import Phase
-from repro.mf.kernels import ConflictPolicy, sgd_batch_update
 from repro.mf.model import MFModel
-from repro.parallel.shm import SharedArray, SharedArraySpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import HCCConfig
+    from repro.engine.channels import Channel
     from repro.obs import Telemetry
 
+#: Default rendezvous ceiling; kept as a module constant for backward
+#: compatibility — configure per run via ``HCCConfig.barrier_timeout_s``
+#: or the trainer's ``barrier_timeout_s=``.
 _BARRIER_TIMEOUT_S = 120.0
-
-#: ring slots per epoch when instrumented: pull + compute + push + two
-#: barrier waits, plus one spare
-_SPANS_PER_EPOCH = 6
 
 
 @dataclass
@@ -79,100 +68,6 @@ class ParallelTrainResult:
         return self.nnz * self.epochs / self.elapsed_seconds
 
 
-def _train_shard(
-    model: MFModel,
-    rows: np.ndarray,
-    cols: np.ndarray,
-    vals: np.ndarray,
-    rng: np.random.Generator,
-    batch_size: int,
-    lr: float,
-    reg: float,
-) -> None:
-    """One epoch of batched SGD over this worker's shard."""
-    n = len(vals)
-    order = rng.permutation(n)
-    for lo in range(0, n, batch_size):
-        sel = order[lo : lo + batch_size]
-        sgd_batch_update(
-            model, rows[sel], cols[sel], vals[sel], lr, reg,
-            policy=ConflictPolicy.ATOMIC,
-        )
-
-
-def _worker_main(
-    worker_id: int,
-    p_spec: SharedArraySpec,
-    pull_spec: SharedArraySpec,
-    push_spec: SharedArraySpec,
-    rows: np.ndarray,
-    cols: np.ndarray,
-    vals: np.ndarray,
-    epochs: int,
-    lr: float,
-    reg: float,
-    batch_size: int,
-    seed: int,
-    start_barrier,
-    end_barrier,
-    span_spec=None,
-    fail_at_epoch: int = -1,
-) -> None:
-    """Worker process body: epochs of pull -> train -> push.
-
-    ``span_spec`` (a :class:`repro.obs.spans.SpanRingSpec`) switches the
-    loop onto its instrumented variant; ``None`` runs the plain loop
-    with zero telemetry overhead.  ``fail_at_epoch`` is a
-    fault-injection hook for tests: the worker aborts its barrier
-    (simulating a crash) at that epoch.
-    """
-    rng = np.random.default_rng(seed + 1000 * (worker_id + 1))
-    # ExitStack closes every attached segment even if a later attach
-    # fails partway through (a bare attach-then-try would leak the
-    # earlier mappings on that path)
-    with ExitStack() as stack:
-        p_shared = stack.enter_context(SharedArray.attach(p_spec))
-        pull_buf = stack.enter_context(SharedArray.attach(pull_spec))
-        push_buf = stack.enter_context(SharedArray.attach(push_spec))
-        rec = None
-        if span_spec is not None:
-            # imported here so the uninstrumented path never touches
-            # repro.obs (and to avoid an import cycle via repro.parallel)
-            from repro.obs.spans import SpanRecorder, SpanRing
-
-            rec = SpanRecorder(stack.enter_context(SpanRing.attach(span_spec)))
-        for epoch in range(epochs):
-            if epoch == fail_at_epoch:
-                start_barrier.abort()
-                raise RuntimeError(f"injected failure in worker {worker_id}")
-            if rec is None:
-                start_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
-                # pull: the worker's single per-epoch copy out of the shared
-                # pull buffer (paper 3.5)  # hcclint: disable=hot-copy
-                q_local = pull_buf.array.copy()
-                model = MFModel(p_shared.array, q_local)
-                _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
-                # push: one copy into this worker's shared push buffer
-                np.copyto(push_buf.array, model.Q)
-                end_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
-            else:
-                t0 = time.perf_counter()
-                start_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
-                rec.record(Phase.BARRIER, epoch, t0, time.perf_counter())
-                with rec.span(Phase.PULL, epoch):
-                    # the same single per-epoch pull copy, timed
-                    # hcclint: disable=hot-copy
-                    q_local = pull_buf.array.copy()
-                model = MFModel(p_shared.array, q_local)
-                with rec.span(Phase.COMPUTE, epoch):
-                    _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
-                with rec.span(Phase.PUSH, epoch):
-                    np.copyto(push_buf.array, model.Q)
-                t1 = time.perf_counter()
-                end_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
-                rec.record(Phase.BARRIER, epoch, t1, time.perf_counter())
-
-
 class SharedMemoryTrainer:
     """Multi-process HCC-MF-style trainer on host CPUs."""
 
@@ -188,7 +83,15 @@ class SharedMemoryTrainer:
         seed: int = 0,
         telemetry: "Telemetry | None" = None,
         fail_worker_at: tuple[int, int] | None = None,
+        partition=None,
+        channel: "Channel | None" = None,
+        config: "HCCConfig | None" = None,
+        barrier_timeout_s: float | None = None,
     ):
+        # imported lazily to avoid a module-level cycle with
+        # repro.engine.backends (which maps repro.parallel.shm segments)
+        from repro.engine import QOnlyChannel, channel_for, provider_from
+
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         if k <= 0:
@@ -200,147 +103,64 @@ class SharedMemoryTrainer:
         self.reg = reg
         self.batch_size = batch_size
         self.seed = seed
-        if fractions is None:
-            fractions = [1.0 / n_workers] * n_workers
-        if len(fractions) != n_workers:
-            raise ValueError("one fraction per worker required")
-        self.fractions = [float(f) for f in fractions]
+        #: partition provider: ``partition=`` takes a PartitionPlan, raw
+        #: fractions or a provider; ``fractions=`` is the legacy alias
+        self.partitions = provider_from(partition, fractions)
+        self.fractions = (
+            list(self.partitions.plan(n_workers).fractions)
+            if partition is not None or fractions is not None
+            else [1.0 / n_workers] * n_workers
+        )
+        if channel is not None:
+            self.channel = channel
+        elif config is not None:
+            self.channel = channel_for(config.comm, ratings.m, ratings.n)
+        else:
+            # the process plane is Strategy-1 by construction: P lives
+            # in shared memory, only Q crosses the wire
+            self.channel = QOnlyChannel()
+        if barrier_timeout_s is not None:
+            self.barrier_timeout_s = float(barrier_timeout_s)
+        elif config is not None:
+            self.barrier_timeout_s = config.barrier_timeout_s
+        else:
+            self.barrier_timeout_s = _BARRIER_TIMEOUT_S
         #: opt-in runtime telemetry (None = zero-overhead path)
         self.telemetry = telemetry
         #: fault-injection hook for tests: (worker_id, epoch) that crashes
         self.fail_worker_at = fail_worker_at
 
-    @staticmethod
-    def _terminate_stragglers(procs: list[mp.process.BaseProcess]) -> None:
-        for proc in procs:
-            if proc.is_alive():  # pragma: no cover - crash cleanup
-                proc.terminate()
-
     def train(self, epochs: int = 5) -> ParallelTrainResult:
+        from repro.engine import EpochEngine, ProcessBackend
+
         if epochs <= 0:
             raise ValueError("epochs must be positive")
-        data = self.ratings.shuffle(self.seed)
-        assignments = partition_rows(data, self.fractions, GridKind.ROW)
-
-        init = MFModel.init_for(data, self.k, seed=self.seed)
-        ctx = mp.get_context("spawn")
-        start_barrier = ctx.Barrier(self.n_workers + 1)
-        end_barrier = ctx.Barrier(self.n_workers + 1)
-
-        # once-per-run server-side snapshot  # hcclint: disable=hot-copy
-        model = MFModel(init.P.copy(), init.Q.copy())
-        telemetry = self.telemetry
-        procs: list[mp.process.BaseProcess] = []
-        history: list[float] = []
-        shard_nnz: list[int] = []
-        rings: list = []
-        server_spans: list[tuple[Phase, int, float, float]] = []
+        backend = ProcessBackend(
+            self.ratings,
+            k=self.k,
+            n_workers=self.n_workers,
+            lr=self.lr,
+            reg=self.reg,
+            batch_size=self.batch_size,
+            seed=self.seed,
+            barrier_timeout_s=self.barrier_timeout_s,
+            fail_worker_at=self.fail_worker_at,
+        )
+        engine = EpochEngine(
+            backend,
+            channel=self.channel,
+            partitions=self.partitions,
+            telemetry=self.telemetry,
+        )
         t0 = time.perf_counter()
-        # register each segment's unlink the moment it exists: if a later
-        # create (or anything else) raises, the earlier segments are
-        # still destroyed instead of leaking until reboot
-        with ExitStack() as stack:
-            p_shared = SharedArray.create(init.P.shape, "float32")
-            stack.callback(p_shared.unlink)
-            pull_buf = SharedArray.create(init.Q.shape, "float32")
-            stack.callback(pull_buf.unlink)
-            push_bufs: list[SharedArray] = []
-            for _ in range(self.n_workers):
-                buf = SharedArray.create(init.Q.shape, "float32")
-                stack.callback(buf.unlink)
-                push_bufs.append(buf)
-            if telemetry is not None:
-                from repro.obs.spans import SpanRing
-
-                for wid in range(self.n_workers):
-                    ring = SpanRing.create(
-                        capacity=epochs * _SPANS_PER_EPOCH, worker=f"worker-{wid}"
-                    )
-                    stack.callback(ring.unlink)
-                    rings.append(ring)
-            np.copyto(p_shared.array, init.P)
-            # LIFO: registered last so stragglers die before any unlink
-            stack.callback(self._terminate_stragglers, procs)
-
-            for wid, a in enumerate(assignments):
-                shard = a.extract(data).sort_by_row()
-                shard_nnz.append(shard.nnz)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        wid,
-                        p_shared.spec,
-                        pull_buf.spec,
-                        push_bufs[wid].spec,
-                        shard.rows,
-                        shard.cols,
-                        shard.vals,
-                        epochs,
-                        self.lr,
-                        self.reg,
-                        self.batch_size,
-                        self.seed,
-                        start_barrier,
-                        end_barrier,
-                        rings[wid].spec if telemetry is not None else None,
-                        self.fail_worker_at[1]
-                        if self.fail_worker_at is not None and self.fail_worker_at[0] == wid
-                        else -1,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                procs.append(proc)
-
-            for epoch in range(epochs):
-                # per-epoch sync-base snapshot  # hcclint: disable=hot-copy
-                q_base = model.Q.copy()
-                np.copyto(pull_buf.array, model.Q)
-                try:
-                    start_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
-                    end_barrier.wait(timeout=_BARRIER_TIMEOUT_S)
-                except threading.BrokenBarrierError as exc:
-                    raise RuntimeError(
-                        "a worker process failed mid-epoch; shared state "
-                        "has been cleaned up"
-                    ) from exc
-                if telemetry is not None:
-                    m0 = time.perf_counter()
-                # sync: additive delta merge — workers trained on
-                # disjoint row-grid shards, so their Q deltas are
-                # distinct SGD steps and all of them apply
-                np.copyto(model.P, p_shared.array)
-                for buf in push_bufs:
-                    model.Q += buf.array - q_base
-                if telemetry is not None:
-                    m1 = time.perf_counter()
-                    server_spans.append((Phase.SYNC, epoch, m0, m1))
-                rmse = model.rmse(data)
-                history.append(rmse)
-                if telemetry is not None:
-                    server_spans.append((Phase.EVAL, epoch, m1, time.perf_counter()))
-                    telemetry.registry.gauge(
-                        "epoch_rmse", "training RMSE at epoch end"
-                    ).set(rmse, epoch=epoch)
-                    telemetry.registry.histogram(
-                        "merge_seconds", "server delta-merge time per epoch"
-                    ).observe(m1 - m0)
-                    telemetry.registry.event(
-                        "epoch", epoch=epoch, rmse=rmse, merge_seconds=m1 - m0
-                    )
-
-            for proc in procs:
-                proc.join(timeout=_BARRIER_TIMEOUT_S)
-            if telemetry is not None:
-                self._finalize_telemetry(
-                    telemetry, rings, server_spans, t0, data, shard_nnz, epochs,
-                )
+        result = engine.run(epochs)
         elapsed = time.perf_counter() - t0
-        if telemetry is not None:
-            telemetry.registry.gauge(
+        history = result.rmse_history
+        if self.telemetry is not None:
+            self.telemetry.registry.gauge(
                 "run_elapsed_seconds", "wall-clock of the whole run"
             ).set(elapsed)
-            telemetry.registry.event(
+            self.telemetry.registry.event(
                 "run_complete", epochs=epochs, n_workers=self.n_workers,
                 elapsed_seconds=elapsed, final_rmse=history[-1],
             )
@@ -349,60 +169,7 @@ class SharedMemoryTrainer:
             elapsed_seconds=elapsed,
             epochs=epochs,
             n_workers=self.n_workers,
-            nnz=data.nnz,
-            model=model,
-            telemetry=telemetry,
-        )
-
-    def _finalize_telemetry(
-        self,
-        telemetry: "Telemetry",
-        rings: list,
-        server_spans: list[tuple[Phase, int, float, float]],
-        origin: float,
-        data: RatingMatrix,
-        shard_nnz: list[int],
-        epochs: int,
-    ) -> None:
-        """Drain the span rings into the run's Timeline and registry.
-
-        Runs after the workers joined and *before* the rings unlink
-        (ExitStack teardown), so every record is final and readable.
-        """
-        from repro.obs.drift import HostRunInfo
-        from repro.obs.spans import assemble_timeline
-
-        timeline, dropped = assemble_timeline(rings, server_spans, origin=origin)
-        registry = telemetry.registry
-        q_bytes = 4 * self.k * data.n
-        updates = registry.counter("updates_total", "SGD updates applied")
-        pulled = registry.counter("bytes_pulled_total", "bytes pulled per worker")
-        pushed = registry.counter("bytes_pushed_total", "bytes pushed per worker")
-        barrier = registry.histogram(
-            "barrier_wait_seconds", "time workers spent waiting at barriers"
-        )
-        rate = registry.gauge("updates_per_second", "achieved per-worker rate")
-        for wid, ring in enumerate(rings):
-            worker = ring.worker
-            updates.inc(shard_nnz[wid] * epochs, worker=worker)
-            pulled.inc(q_bytes * epochs, worker=worker)
-            pushed.inc(q_bytes * epochs, worker=worker)
-            compute_s = timeline.phase_total(Phase.COMPUTE, worker)
-            if compute_s > 0:
-                rate.set(shard_nnz[wid] * epochs / compute_s, worker=worker)
-        for span in timeline.spans:
-            if span.phase is Phase.BARRIER:
-                barrier.observe(span.duration, worker=span.worker)
-        telemetry.attach_run(
-            timeline,
-            dropped,
-            HostRunInfo(
-                worker_names=tuple(r.worker for r in rings),
-                shard_nnz=tuple(shard_nnz),
-                k=self.k,
-                m=data.m,
-                n=data.n,
-                epochs=epochs,
-            ),
-            ratings=data,
+            nnz=backend.data.nnz,
+            model=backend.model,
+            telemetry=self.telemetry,
         )

@@ -35,7 +35,8 @@ class TestFramework:
         rules = all_rules()
         ids = {r.rule_id for r in rules}
         assert {"HCC101", "HCC102", "HCC103", "HCC104", "HCC105",
-                "HCC106", "HCC107", "HCC108", "HCC109", "HCC110"} <= ids
+                "HCC106", "HCC107", "HCC108", "HCC109", "HCC110",
+                "HCC111"} <= ids
         # ids and names are unique
         assert len(ids) == len(rules)
         assert len({r.name for r in rules}) == len(rules)
@@ -552,6 +553,64 @@ class TestWallClock:
         t = time.time()  # hcclint: disable=wall-clock
         """
         assert issues_for(src, path=self.TIMING, rule="wall-clock") == []
+
+
+class TestEpochLoop:
+    FRAMEWORK = "src/repro/core/framework.py"  # legacy plane facade
+
+    LOOP = """
+    def train(self, server, epochs):
+        for epoch in range(epochs):
+            server.begin_epoch(epoch)
+            server.sync(epoch)
+    """
+
+    def test_epoch_loop_in_facade_flagged(self):
+        issues = issues_for(self.LOOP, path=self.FRAMEWORK, rule="epoch-loop")
+        assert len(issues) == 1
+        assert issues[0].severity is Severity.WARNING
+        assert "EpochEngine" in issues[0].message
+
+    def test_reporting_loop_without_stage_calls_clean(self):
+        src = """
+        def axis(self, epochs):
+            out = []
+            for epoch in range(epochs):
+                out.append(self.cost * (epoch + 1))
+            return out
+        """
+        assert issues_for(src, path=self.FRAMEWORK, rule="epoch-loop") == []
+
+    def test_non_epoch_bound_clean(self):
+        src = """
+        def fan_out(self, n_workers, server):
+            for rank in range(n_workers):
+                server.push(rank)
+        """
+        assert issues_for(src, path=self.FRAMEWORK, rule="epoch-loop") == []
+
+    def test_engine_module_is_the_sanctioned_home(self):
+        assert issues_for(self.LOOP, path="src/repro/engine/pipeline.py",
+                          rule="epoch-loop") == []
+
+    def test_neutral_module_exempt(self):
+        assert issues_for(self.LOOP, path=NEUTRAL, rule="epoch-loop") == []
+
+    def test_rotation_loop_fires_without_suppression(self):
+        src = """
+        def rotate(self, epochs):
+            for _ in range(epochs):
+                self.run_rotation_step()
+        """
+        assert len(issues_for(src, path=self.FRAMEWORK, rule="epoch-loop")) == 1
+
+    def test_suppression(self):
+        src = """
+        def rotate(self, epochs):
+            for _ in range(epochs):  # hcclint: disable=epoch-loop
+                self.run_rotation_step()
+        """
+        assert issues_for(src, path=self.FRAMEWORK, rule="epoch-loop") == []
 
 
 class TestRepoIsClean:

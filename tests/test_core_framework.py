@@ -75,6 +75,33 @@ class TestTimingPlane:
         assert len(axis) == 5
         assert all(b > a for a, b in zip(axis, axis[1:]))
 
+    def test_time_axis_tracks_timeline_spans(self, platform):
+        """The axis is derived from per-epoch span ends, not a uniform
+        total/epochs smear, and Strategy 1's once-at-the-end P push
+        lands on the final epoch only."""
+        res = HCCMF(platform, NETFLIX, HCCConfig(k=128, epochs=3)).train()
+        span_ends: dict[int, float] = {}
+        for span in res.timeline.spans:
+            span_ends[span.epoch] = max(span_ends.get(span.epoch, 0.0), span.end)
+        axis = res.time_axis()
+        assert axis[0] == pytest.approx(span_ends[0])
+        assert axis[1] == pytest.approx(span_ends[1])
+        epilogue = res.total_time - 3 * res.epoch_cost.total
+        assert epilogue > 0  # Q-only mode has the final P push
+        assert axis[2] == pytest.approx(span_ends[2] + epilogue)
+
+    def test_time_axis_extends_beyond_rendered_window(self, platform):
+        """Epochs past the timeline's rendered window continue at the
+        analytic steady-state epoch cost."""
+        res = HCCMF(platform, NETFLIX, HCCConfig(k=128, epochs=5)).train()
+        rendered = max(span.epoch for span in res.timeline.spans)
+        assert rendered == 2  # the timeline renders a 3-epoch window
+        axis = res.time_axis()
+        steady = res.epoch_cost.total
+        assert axis[3] - axis[2] == pytest.approx(steady)
+        epilogue = res.total_time - 5 * steady
+        assert axis[4] - axis[3] == pytest.approx(steady + epilogue)
+
     def test_streams_drop_special_worker(self, platform):
         hcc = HCCMF(platform, YAHOO_R1, HCCConfig(k=128, comm=CommConfig(streams=4)))
         assert hcc.platform.n_workers == platform.n_workers - 1

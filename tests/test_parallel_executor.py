@@ -83,6 +83,110 @@ class TestUpdatesPerSecond:
         assert self._result(-1e-9).updates_per_second == 0.0
 
 
+class TestChannelStrategies:
+    """Strategies 2/3 in the process plane: the channel stack drives
+    the wire format, and the metrics registry proves the byte math."""
+
+    @staticmethod
+    def _wire_bytes(tel, name):
+        return sum(s.value for s in tel.registry.samples() if s.name == name)
+
+    def test_fp16_matches_fp32_with_half_the_wire_bytes(self, data):
+        from repro.engine import Fp16Channel, QOnlyChannel
+        from repro.obs import Telemetry
+
+        tel32, tel16 = Telemetry(), Telemetry()
+        fp32 = SharedMemoryTrainer(
+            data, k=8, n_workers=2, lr=0.01, seed=0,
+            channel=QOnlyChannel(), telemetry=tel32,
+        ).train(epochs=3)
+        fp16 = SharedMemoryTrainer(
+            data, k=8, n_workers=2, lr=0.01, seed=0,
+            channel=Fp16Channel(QOnlyChannel()), telemetry=tel16,
+        ).train(epochs=3)
+        # Strategy 2's claim: half-precision transmission, same accuracy
+        assert fp16.rmse_history[-1] == pytest.approx(
+            fp32.rmse_history[-1], rel=0.02
+        )
+        for name in ("bytes_pulled_total", "bytes_pushed_total"):
+            full = self._wire_bytes(tel32, name)
+            half = self._wire_bytes(tel16, name)
+            assert full > 0
+            assert half == pytest.approx(full / 2)
+
+    def test_partition_plan_accepted(self, data):
+        from repro.core.partition import PartitionPlan
+
+        trainer = SharedMemoryTrainer(
+            data, k=8, n_workers=2, lr=0.01, seed=0,
+            partition=PartitionPlan("dp0", (0.35, 0.65)),
+        )
+        assert trainer.fractions == pytest.approx([0.35, 0.65])
+        res = trainer.train(epochs=2)
+        assert res.rmse_history[-1] < res.rmse_history[0]
+
+    def test_double_buffer_stack_runs(self, data):
+        from repro.engine import DoubleBufferChannel, Fp16Channel, QOnlyChannel
+
+        stack = DoubleBufferChannel(Fp16Channel(QOnlyChannel()))
+        res = SharedMemoryTrainer(
+            data, k=8, n_workers=2, lr=0.01, seed=0, channel=stack
+        ).train(epochs=2)
+        assert res.rmse_history[-1] < res.rmse_history[0]
+
+    def test_config_selects_the_channel_stack(self, data):
+        from repro.core.config import CommConfig, HCCConfig
+
+        trainer = SharedMemoryTrainer(
+            data, config=HCCConfig(comm=CommConfig(fp16=True))
+        )
+        assert trainer.channel.wire_is_fp16
+        assert trainer.channel.describe() == "fp16(q-only(full))"
+
+
+class TestBarrierDiagnostics:
+    """Rendezvous failures name the missing ranks, and the timeout is
+    configurable through HCCConfig."""
+
+    def test_sync_error_names_the_missing_rank(self, data):
+        from repro.engine import WorkerSyncError
+
+        bad = SharedMemoryTrainer(
+            data, k=8, n_workers=2, lr=0.01, seed=0, fail_worker_at=(1, 1)
+        )
+        with pytest.raises(WorkerSyncError) as excinfo:
+            bad.train(epochs=3)
+        err = excinfo.value
+        # worker-0's progress stamp races the broken barrier, so the
+        # missing set may or may not include it — but the crashed rank
+        # is always reported
+        assert 1 in err.missing_ranks
+        assert "worker-1" in str(err)
+        assert err.epoch == 1
+
+    def test_config_sets_barrier_timeout(self, data):
+        from repro.core.config import HCCConfig
+
+        trainer = SharedMemoryTrainer(
+            data, config=HCCConfig(barrier_timeout_s=7.5)
+        )
+        assert trainer.barrier_timeout_s == 7.5
+
+    def test_explicit_timeout_overrides_config(self, data):
+        from repro.core.config import HCCConfig
+
+        trainer = SharedMemoryTrainer(
+            data, config=HCCConfig(barrier_timeout_s=7.5), barrier_timeout_s=3.0
+        )
+        assert trainer.barrier_timeout_s == 3.0
+
+    def test_nonpositive_timeout_rejected(self):
+        from repro.core.config import HCCConfig
+
+        with pytest.raises(ValueError, match="barrier_timeout_s"):
+            HCCConfig(barrier_timeout_s=0.0)
+
+
 class TestExecutorTelemetry:
     def test_disabled_telemetry_takes_zero_overhead_path(self, data, monkeypatch):
         """telemetry=None must never touch the span-ring machinery."""
