@@ -73,6 +73,12 @@ stage "obs-smoke" obs_smoke
 stage "engine-parity" python -m repro engine-parity \
     --nnz 4000 --epochs 2 --k 8 --workers 2
 
+# 2d. fault-smoke: kill a worker mid-run; recovery must redistribute its
+# shard and converge within tolerance of the fault-free baseline
+# (docs/resilience.md)
+stage "fault-smoke" python -m repro fault-smoke \
+    --nnz 4000 --epochs 4 --k 8 --workers 3 --barrier-timeout 5
+
 # 3. ruff (style/pyflakes), if installed
 if command -v ruff >/dev/null 2>&1; then
     stage "ruff" ruff check src tests

@@ -97,6 +97,12 @@ EPOCH_LOOP_GUARDED_MODULES = frozenset(
     }
 )
 
+#: Multi-process coordination code (HCC112): an unbounded ``.wait()`` /
+#: ``.join()`` / ``.get()`` here deadlocks forever when a peer process
+#: dies instead of surfacing a detectable failure — every blocking
+#: rendezvous must carry a timeout so the failure detector gets a turn.
+BOUNDED_WAIT_PREFIXES = ("repro/parallel/", "repro/engine/")
+
 HOT_MARKER_RE = re.compile(r"#\s*hcclint:\s*hot-path\b")
 
 
@@ -145,3 +151,7 @@ def is_epoch_loop_guarded_module(key: str) -> bool:
     return key in EPOCH_LOOP_GUARDED_MODULES and not key.startswith(
         EPOCH_LOOP_MODULE_PREFIXES
     )
+
+
+def is_bounded_wait_module(key: str) -> bool:
+    return key.startswith(BOUNDED_WAIT_PREFIXES)

@@ -29,6 +29,10 @@ HCC110 wall-clock         advisory: timing code uses time.perf_counter(),
 HCC111 epoch-loop         epoch-loop orchestration lives in repro/engine/
                           only; the legacy plane modules are facades that
                           delegate to EpochEngine
+HCC112 unbounded-wait     cross-process rendezvous (.wait/.join/.get) in
+                          repro/parallel/ and repro/engine/ always carry a
+                          timeout, so a dead peer surfaces as a detectable
+                          failure instead of a hang
 ====== ================== ========================================================
 """
 
@@ -38,6 +42,7 @@ import ast
 from typing import Iterator
 
 from repro.analysis.hotpath import (
+    is_bounded_wait_module,
     is_cost_model_module,
     is_epoch_loop_guarded_module,
     is_kernel_module,
@@ -730,3 +735,51 @@ class EpochLoopRule(Rule):
                 ):
                     return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# HCC112: unbounded cross-process rendezvous
+# ---------------------------------------------------------------------------
+@rule
+class UnboundedWaitRule(Rule):
+    rule_id = "HCC112"
+    name = "unbounded-wait"
+    severity = Severity.ERROR
+    rationale = (
+        "Fault tolerance starts at detection: a .wait()/.join()/.get() "
+        "with no timeout in coordination code blocks forever when a peer "
+        "process dies, so the failure never surfaces and recovery never "
+        "runs.  Every cross-process rendezvous in repro/parallel/ and "
+        "repro/engine/ must be bounded (the server's barrier timeout is "
+        "the run's failure detector)."
+    )
+
+    _WAIT_ATTRS = {"wait", "join", "get"}
+
+    def check(self, ctx: FileContext) -> Iterator[LintIssue]:
+        if not is_bounded_wait_module(ctx.module):
+            return
+        # worker-loop modules already get wait/join coverage from HCC107;
+        # there this rule only adds the .get() check (no double reports)
+        covered = is_worker_loop_module(ctx.module)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = _func_tail(node.func)
+            if tail not in self._WAIT_ATTRS:
+                continue
+            if covered and tail != "get":
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            # "sep".join(parts) / f"{x}".join(...) are string operations
+            if isinstance(node.func.value, (ast.Constant, ast.JoinedStr)):
+                continue
+            if node.args or any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            yield self.issue(
+                ctx,
+                node,
+                f".{tail}() without timeout= blocks forever on a dead peer "
+                "process; bound every rendezvous so failure detection can run",
+            )

@@ -428,6 +428,76 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(i.severity >= threshold for i in issues) else 0
 
 
+def _cmd_fault_smoke(args: argparse.Namespace) -> int:
+    """End-to-end resilience smoke: kill a worker mid-run, recover, compare.
+
+    Trains the same synthetic workload twice on the process plane — once
+    fault-free, once with a worker killed by an injected fault and a
+    recovery policy active — and requires the recovered run to finish
+    every epoch with a final RMSE within ``--tolerance`` of the
+    fault-free baseline, having redistributed the dead worker's shard.
+    """
+    from repro.core.config import RecoveryPolicy
+    from repro.data.datasets import get_dataset
+    from repro.parallel.executor import SharedMemoryTrainer
+    from repro.resilience import FaultPlan
+
+    if args.workers < 2:
+        print("fault-smoke needs at least 2 workers (one dies)", file=sys.stderr)
+        return 2
+    spec = get_dataset(args.dataset)
+    ratings = spec.scaled(args.nnz).generate(seed=args.seed)
+
+    baseline = SharedMemoryTrainer(
+        ratings, k=args.k, n_workers=args.workers, seed=args.seed
+    ).train(epochs=args.epochs)
+
+    victim = args.workers - 1
+    kill_epoch = min(1, args.epochs - 1)
+    faulted = SharedMemoryTrainer(
+        ratings,
+        k=args.k,
+        n_workers=args.workers,
+        seed=args.seed,
+        fault_plan=FaultPlan().kill(victim, epoch=kill_epoch),
+        recovery=RecoveryPolicy(),
+        barrier_timeout_s=args.barrier_timeout,
+    ).train(epochs=args.epochs)
+
+    summary = faulted.resilience
+    rel = abs(faulted.rmse_history[-1] - baseline.rmse_history[-1]) / abs(
+        baseline.rmse_history[-1]
+    )
+    print(f"baseline: rmse {baseline.rmse_history[-1]:.6f} over "
+          f"{args.epochs} epochs, {args.workers} workers")
+    print(f"faulted:  rmse {faulted.rmse_history[-1]:.6f}, "
+          f"worker-{victim} killed at epoch {kill_epoch}")
+    print(f"recovery: {summary.describe()}")
+    for line in summary.failures:
+        print(f"  {line}")
+    ok = True
+    if len(faulted.rmse_history) != args.epochs:
+        ok = False
+        print(f"FAIL: faulted run finished only "
+              f"{len(faulted.rmse_history)}/{args.epochs} epochs")
+    if summary.redistributions < 1:
+        ok = False
+        print("FAIL: dead worker's shard was never redistributed")
+    if faulted.n_workers != args.workers - 1:
+        ok = False
+        print(f"FAIL: expected {args.workers - 1} surviving workers, "
+              f"got {faulted.n_workers}")
+    if rel > args.tolerance:
+        ok = False
+        print(f"FAIL: final RMSE diverged {rel:.2%} from baseline "
+              f"(tolerance {args.tolerance:.2%})")
+    else:
+        print(f"final RMSE within {rel:.2%} of baseline "
+              f"(tolerance {args.tolerance:.2%})")
+    print(f"fault-smoke: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def _cmd_race_check(args: argparse.Namespace) -> int:
     from repro.analysis.race import race_check
 
@@ -539,6 +609,23 @@ def build_parser() -> argparse.ArgumentParser:
     parity.add_argument("--workers", type=int, default=2,
                         help="worker count in both planes (1..4)")
 
+    smoke = sub.add_parser(
+        "fault-smoke",
+        help="kill a worker mid-run and prove recovery converges",
+    )
+    smoke.add_argument("--dataset", default="Netflix", help="Table 3 name")
+    smoke.add_argument("--nnz", type=int, default=4000, help="synthetic scale")
+    smoke.add_argument("--epochs", type=int, default=4)
+    smoke.add_argument("--k", type=int, default=8)
+    smoke.add_argument("--seed", type=int, default=0)
+    smoke.add_argument("--workers", type=int, default=3,
+                       help="worker process count (one gets killed)")
+    smoke.add_argument("--barrier-timeout", type=float, default=5.0,
+                       help="server rendezvous timeout (straggler detection "
+                            "bound; dead workers are detected immediately)")
+    smoke.add_argument("--tolerance", type=float, default=0.05,
+                       help="max relative final-RMSE divergence vs baseline")
+
     race = sub.add_parser(
         "race-check",
         help="prove P-row ownership + one-copy discipline dynamically",
@@ -566,6 +653,7 @@ _COMMANDS = {
     "obs-report": _cmd_obs_report,
     "race-check": _cmd_race_check,
     "engine-parity": _cmd_engine_parity,
+    "fault-smoke": _cmd_fault_smoke,
 }
 
 

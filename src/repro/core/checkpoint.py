@@ -43,10 +43,33 @@ def _paths(path: str | os.PathLike) -> tuple[Path, Path]:
     return base.with_suffix(".npz"), base.with_suffix(".json")
 
 
+def _atomic_write(target: Path, write_body) -> None:
+    """Write ``target`` via temp-file + fsync + rename (crash-atomic).
+
+    A checkpoint overwritten in place can be torn by a crash mid-write —
+    precisely the moment checkpoints exist for — so all writes land in a
+    temp file in the *same directory* (rename must not cross
+    filesystems), are flushed to disk, and are installed with
+    :func:`os.replace`.  Readers only ever see the old file or the new.
+    """
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            write_body(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def save_checkpoint(ckpt: Checkpoint, path: str | os.PathLike) -> None:
-    """Write ``<path>.npz`` (factors) and ``<path>.json`` (metadata)."""
+    """Atomically write ``<path>.npz`` (factors) and ``<path>.json`` (metadata)."""
     npz_path, json_path = _paths(path)
-    np.savez_compressed(npz_path, P=ckpt.model.P, Q=ckpt.model.Q)
+    _atomic_write(
+        npz_path,
+        lambda fh: np.savez_compressed(fh, P=ckpt.model.P, Q=ckpt.model.Q),
+    )
     meta = {
         "version": ckpt.version,
         "epoch": ckpt.epoch,
@@ -54,7 +77,9 @@ def save_checkpoint(ckpt: Checkpoint, path: str | os.PathLike) -> None:
         "config": ckpt.config,
         "shape": {"m": ckpt.model.m, "n": ckpt.model.n, "k": ckpt.model.k},
     }
-    json_path.write_text(json.dumps(meta, indent=2))
+    _atomic_write(
+        json_path, lambda fh: fh.write(json.dumps(meta, indent=2).encode())
+    )
 
 
 def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
@@ -65,7 +90,9 @@ def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
     meta = json.loads(json_path.read_text())
     if meta.get("version") != CHECKPOINT_VERSION:
         raise ValueError(
-            f"checkpoint version {meta.get('version')} != {CHECKPOINT_VERSION}"
+            f"checkpoint at {json_path} was written as format version "
+            f"{meta.get('version')}, but this build reads version "
+            f"{CHECKPOINT_VERSION}"
         )
     with np.load(npz_path) as data:
         model = MFModel(data["P"], data["Q"])

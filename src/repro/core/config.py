@@ -91,6 +91,52 @@ class CommConfig:
 
 
 @dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the epoch engine reacts to worker failures (docs/resilience.md).
+
+    The three escalation levels mirror the failure taxonomy: a
+    *transient* failure (straggler, corrupted payload) retries the
+    epoch with exponential backoff; a *dead* worker triggers a
+    redistribution of its shard across the survivors (degraded-mode
+    continuation); and repeated failure past ``max_retries`` — or a
+    death that would leave fewer than ``min_workers`` survivors —
+    checkpoints (when a checkpoint path is configured) and aborts with
+    :class:`~repro.resilience.TrainingAborted`.
+    """
+
+    #: transient-failure retries of the same epoch before aborting
+    max_retries: int = 2
+    #: first retry waits this long; each further retry multiplies by
+    #: ``backoff_factor`` (0.0 disables the wait, handy in tests)
+    backoff_base_s: float = 0.1
+    backoff_factor: float = 2.0
+    #: on worker death, reassign the dead shard across survivors and
+    #: continue degraded (False: any death aborts)
+    redistribute: bool = True
+    #: abort instead of degrading below this many surviving workers
+    min_workers: int = 1
+    #: write a final checkpoint before raising TrainingAborted (needs a
+    #: checkpoint path on the run)
+    checkpoint_on_abort: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+
+    def backoff_s(self, retries_so_far: int) -> float:
+        """Wait before retry number ``retries_so_far + 1``."""
+        if retries_so_far < 0:
+            raise ValueError("retries_so_far must be non-negative")
+        return self.backoff_base_s * self.backoff_factor**retries_so_far
+
+
+@dataclass(frozen=True)
 class HCCConfig:
     """Full configuration of an HCC-MF training run."""
 
@@ -108,6 +154,10 @@ class HCCConfig:
     #: ceiling on any cross-process rendezvous (barrier waits, process
     #: joins) in the process plane; a breach names the missing ranks
     barrier_timeout_s: float = 120.0
+    #: opt-in fault tolerance: None (the default) preserves the classic
+    #: fail-fast behaviour, a RecoveryPolicy turns on retry /
+    #: redistribute / checkpoint-and-abort handling in the engine
+    recovery: RecoveryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:

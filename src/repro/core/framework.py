@@ -165,6 +165,9 @@ class HCCMF:
         epochs: int | None = None,
         eval_data: RatingMatrix | None = None,
         telemetry=None,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+        resume_from=None,
     ) -> TrainResult:
         """Run the simulated-time plane and (if ratings) the numeric plane.
 
@@ -173,6 +176,14 @@ class HCCMF:
         pull/compute/push spans per worker, sync/eval spans for the
         server, per-epoch RMSE gauges and structured events.  ``None``
         (the default) keeps every numeric path untimed.
+
+        ``checkpoint_every=``/``checkpoint_path=`` write an atomic model
+        checkpoint at epoch boundaries of the numeric plane, and
+        ``resume_from=`` warm-starts it from a saved checkpoint with the
+        workers' RNG streams advanced past the completed epochs, so the
+        resumed factors match the straight-through run bit for bit (see
+        docs/resilience.md).  The Q_ROTATE future-work mode has no
+        engine loop to hang these off and rejects them.
         """
         if self.plan is None:
             self.prepare()
@@ -213,7 +224,17 @@ class HCCMF:
         rmse_history: list[float] = []
         model: MFModel | None = None
         if self.ratings is not None:
-            model, rmse_history = self._train_numeric(epochs, eval_data, telemetry)
+            model, rmse_history = self._train_numeric(
+                epochs, eval_data, telemetry,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_from,
+            )
+        elif checkpoint_every or resume_from is not None:
+            raise ValueError(
+                "checkpointing needs a numeric plane: construct HCCMF "
+                "with ratings= to use checkpoint_every=/resume_from="
+            )
 
         return TrainResult(
             dataset=self.dataset,
@@ -238,7 +259,13 @@ class HCCMF:
 
     # ------------------------------------------------------------------
     def _train_numeric(
-        self, epochs: int, eval_data: RatingMatrix | None, telemetry=None
+        self,
+        epochs: int,
+        eval_data: RatingMatrix | None,
+        telemetry=None,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+        resume_from=None,
     ) -> tuple[MFModel, list[float]]:
         """Numeric plane: delegate the epoch loop to the EpochEngine.
 
@@ -253,6 +280,11 @@ class HCCMF:
         eval_set = eval_data if eval_data is not None else data
         mode = self.config.comm.resolve_transmit(self.dataset.m, self.dataset.n)
         if mode is TransmitMode.Q_ROTATE:
+            if checkpoint_every or resume_from is not None:
+                raise ValueError(
+                    "Q_ROTATE has no engine loop: checkpoint_every=/"
+                    "resume_from= are not supported in rotation mode"
+                )
             registry = telemetry.registry if telemetry is not None else None
             model = MFModel.init_for(data, self.config.k, seed=self.config.seed)
             runtimes = [
@@ -290,6 +322,9 @@ class HCCMF:
             channel=channel_for(self.config.comm, data.m, data.n),
             partitions=self.plan,
             telemetry=telemetry,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
         )
         result = engine.run(epochs)
         return backend.model, result.rmse_history

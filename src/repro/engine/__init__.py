@@ -24,6 +24,7 @@ from repro.engine.backends import (
     DEFAULT_BARRIER_TIMEOUT_S,
     ProcessBackend,
     SimBackend,
+    WirePayloadError,
     WorkerSyncError,
 )
 from repro.engine.channels import (
@@ -45,6 +46,7 @@ from repro.engine.partitions import (
     provider_from,
 )
 from repro.engine.pipeline import (
+    RECOVERABLE_ERRORS,
     STAGES,
     AdditiveDeltaSync,
     ComputeBackend,
@@ -72,11 +74,13 @@ __all__ = [
     "ProcessBackend",
     "QOnlyChannel",
     "QRotateChannel",
+    "RECOVERABLE_ERRORS",
     "STAGES",
     "SimBackend",
     "StageEvent",
     "SyncPolicy",
     "WeightedAverageSync",
+    "WirePayloadError",
     "WireTraffic",
     "WorkerSyncError",
     "as_provider",

@@ -23,6 +23,7 @@ stage diffs their stage traces and per-worker update counts.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import threading
 import time
 from contextlib import ExitStack
@@ -37,6 +38,8 @@ from repro.hardware.timeline import Phase, Timeline
 from repro.mf.kernels import ConflictPolicy, sgd_batch_update
 from repro.mf.model import MFModel
 from repro.parallel.shm import SharedArray, SharedArraySpec
+from repro.resilience.faults import CORRUPT, DELAY, DROP, KILL, Fault, FaultPlan, fault_at
+from repro.resilience.health import HealthReport, classify
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.pipeline import SyncPolicy
@@ -49,6 +52,15 @@ DEFAULT_BARRIER_TIMEOUT_S = 120.0
 #: ring slots per epoch when instrumented: pull + compute + push + two
 #: barrier waits, plus one spare
 _SPANS_PER_EPOCH = 6
+
+#: grace period between terminate() and the kill() escalation when
+#: reaping straggler worker processes
+_TERMINATE_GRACE_S = 5.0
+
+#: extra time workers wait on barriers beyond the server's timeout —
+#: the server must always be the first to detect a broken rendezvous
+#: (see _worker_main)
+_WORKER_PATIENCE_S = 30.0
 
 
 class WorkerSyncError(RuntimeError):
@@ -64,6 +76,27 @@ class WorkerSyncError(RuntimeError):
             f"a worker process failed mid-epoch: {names} did not reach the "
             f"{point} barrier of epoch {epoch} within {timeout_s:.0f}s; "
             f"shared state has been cleaned up"
+        )
+
+
+class WirePayloadError(RuntimeError):
+    """A pushed payload failed validation; names the offending rank.
+
+    Raised *before* any merge of the epoch: the server validates every
+    worker's push first, so a garbage payload (a torn write from a
+    dying worker, an injected corruption) never leaves the global Q
+    half-merged.  The model still holds the last cleanly-synced epoch,
+    which is what makes a retry of the epoch sound.
+    """
+
+    def __init__(self, rank: int, epoch: int):
+        self.rank = rank
+        self.epoch = epoch
+        self.missing_ranks = (rank,)
+        super().__init__(
+            f"a worker process failed mid-epoch: worker-{rank} pushed a "
+            f"corrupt payload (non-finite values) for epoch {epoch}; the "
+            f"epoch was not merged"
         )
 
 
@@ -108,6 +141,12 @@ class SimBackend:
         self.n_workers = platform.n_workers
         self.model: MFModel | None = None
         self.sim_seconds = 0.0
+        #: warm-start state the engine sets for checkpoint resume and
+        #: recovery restarts: factors to start from, and how many global
+        #: epochs already completed (replayed out of each worker's RNG
+        #: stream so a resumed run continues the exact sample order)
+        self.initial_model: MFModel | None = None
+        self.epoch_offset = 0
 
     # -- lifecycle -------------------------------------------------------
     def open(self, plan, channel: Channel, sync_policy: "SyncPolicy",
@@ -121,7 +160,15 @@ class SimBackend:
         self._channel = channel
         self._sync_policy = sync_policy
         registry = telemetry.registry if telemetry is not None else None
-        self.model = MFModel.init_for(data, self.k, seed=self.seed)
+        if self.initial_model is not None:
+            # warm start (checkpoint resume): once-per-run private copies
+            # so training never writes into the caller's checkpoint arrays
+            warm = self.initial_model
+            p0 = warm.P.copy()  # hcclint: disable=hot-copy
+            q0 = warm.Q.copy()  # hcclint: disable=hot-copy
+            self.model = MFModel(p0, q0)
+        else:
+            self.model = MFModel.init_for(data, self.k, seed=self.seed)
         assignments = partition_rows(data, plan.fractions, GridKind.ROW)
         self.runtimes = [
             WorkerRuntime(
@@ -132,6 +179,13 @@ class SimBackend:
                 zip(self.platform.workers, assignments)
             )
         ]
+        # replay already-completed epochs out of each worker's RNG
+        # stream: one permutation draw per epoch (WorkerRuntime.run_epoch
+        # draws exactly one), so a resumed run is bitwise-identical to
+        # the straight-through run it continues
+        for _ in range(self.epoch_offset):
+            for rt in self.runtimes:
+                rt.rng.permutation(rt.nnz)
         self.server = ParameterServer(
             self.model, self.n_workers, channel=channel, metrics=registry,
         )
@@ -246,6 +300,51 @@ def _train_shard(
         )
 
 
+def _pre_epoch_faults(
+    faults: tuple[Fault, ...], global_epoch: int, worker_id: int, start_barrier
+) -> None:
+    """Worker-side kill / start-delay injection at the top of an epoch.
+
+    Neither kill flavor touches the barrier: a real crashed process
+    cannot abort a rendezvous, so peers find out the honest way — the
+    server's barrier wait times out and the health plane reads the
+    stamps and exit codes.
+    """
+    kill = fault_at(faults, KILL, global_epoch)
+    if kill is not None:
+        if kill.hard:
+            # SIGKILL-like: no interpreter teardown at all
+            os._exit(13)
+        raise RuntimeError(f"injected failure in worker {worker_id}")
+    _maybe_delay(faults, global_epoch, "start")
+
+
+def _maybe_delay(faults: tuple[Fault, ...], global_epoch: int, point: str) -> None:
+    delay = fault_at(faults, DELAY, global_epoch)
+    if delay is not None and delay.point == point:
+        # an injected straggler, by definition  # hcclint: disable=blocking-call
+        time.sleep(delay.seconds)
+
+
+def _encode_push(
+    channel: Channel,
+    q_trained: np.ndarray,
+    pull_buf: SharedArray,
+    push_buf: SharedArray,
+    faults: tuple[Fault, ...],
+    global_epoch: int,
+) -> None:
+    """The worker's single push encode, with drop/corrupt injection."""
+    if fault_at(faults, DROP, global_epoch) is not None:
+        # dropped payload: the wire still carries the epoch base (the
+        # pull buffer's exact bits), so the server merges a zero delta
+        np.copyto(push_buf.array, pull_buf.array)
+    else:
+        channel.encode(q_trained, push_buf.array)
+    if fault_at(faults, CORRUPT, global_epoch) is not None:
+        push_buf.array[...] = np.nan
+
+
 def _worker_main(
     worker_id: int,
     p_spec: SharedArraySpec,
@@ -265,7 +364,8 @@ def _worker_main(
     end_barrier,
     barrier_timeout_s: float,
     span_spec=None,
-    fail_at_epoch: int = -1,
+    epoch_offset: int = 0,
+    faults: tuple[Fault, ...] = (),
 ) -> None:
     """Worker process body: epochs of pull -> train -> push.
 
@@ -276,10 +376,26 @@ def _worker_main(
     ``channel.depth`` rotating buffers (Strategy 3).  Before each
     barrier the worker stamps ``progress[worker_id]`` so the server can
     name missing ranks on a broken rendezvous.  ``span_spec`` switches
-    on the instrumented variant; ``fail_at_epoch`` is a fault-injection
-    hook for tests.
+    on the instrumented variant.
+
+    ``epoch_offset`` is how many *global* epochs already completed
+    before this spawn (checkpoint resume, recovery restart): stamps and
+    barriers count local epochs, while the RNG stream discards the
+    completed epochs' permutation draws and fault injection
+    (``faults``, this rank's slice of a
+    :class:`~repro.resilience.faults.FaultPlan`) keys on global epochs.
     """
     rng = np.random.default_rng(seed + 1000 * (worker_id + 1))
+    # replay: one permutation draw per completed epoch (mirrors
+    # _train_shard) so a warm-started run continues the exact sample
+    # order of the straight-through run
+    for _ in range(epoch_offset):
+        rng.permutation(len(vals))
+    # workers outwait the server on every rendezvous: the server is the
+    # sole failure detector, and at its timeout the survivors must still
+    # be alive (blocked here) for the health plane to tell a dead rank
+    # from collateral damage; teardown reaps them right after
+    barrier_timeout_s = barrier_timeout_s + _WORKER_PATIENCE_S
     # ExitStack closes every attached segment even if a later attach
     # fails partway through (a bare attach-then-try would leak the
     # earlier mappings on that path)
@@ -298,9 +414,9 @@ def _worker_main(
 
             rec = SpanRecorder(stack.enter_context(SpanRing.attach(span_spec)))
         for epoch in range(epochs):
-            if epoch == fail_at_epoch:
-                start_barrier.abort()
-                raise RuntimeError(f"injected failure in worker {worker_id}")
+            global_epoch = epoch_offset + epoch
+            if faults:
+                _pre_epoch_faults(faults, global_epoch, worker_id, start_barrier)
             pull_buf = pull_bufs[epoch % len(pull_bufs)]
             progress.array[worker_id] = 2 * epoch + 1
             if rec is None:
@@ -311,7 +427,11 @@ def _worker_main(
                 model = MFModel(p_shared.array, q_local)
                 _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
                 # push: one encode into this worker's shared push buffer
-                channel.encode(model.Q, push_buf.array)
+                _encode_push(
+                    channel, model.Q, pull_buf, push_buf, faults, global_epoch
+                )
+                if faults:
+                    _maybe_delay(faults, global_epoch, "end")
                 progress.array[worker_id] = 2 * epoch + 2
                 end_barrier.wait(timeout=barrier_timeout_s)
             else:
@@ -325,7 +445,11 @@ def _worker_main(
                 with rec.span(Phase.COMPUTE, epoch):
                     _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
                 with rec.span(Phase.PUSH, epoch):
-                    channel.encode(model.Q, push_buf.array)
+                    _encode_push(
+                        channel, model.Q, pull_buf, push_buf, faults, global_epoch
+                    )
+                if faults:
+                    _maybe_delay(faults, global_epoch, "end")
                 t1 = time.perf_counter()
                 progress.array[worker_id] = 2 * epoch + 2
                 end_barrier.wait(timeout=barrier_timeout_s)
@@ -355,6 +479,7 @@ class ProcessBackend:
         seed: int = 0,
         barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
         fail_worker_at: tuple[int, int] | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -362,6 +487,8 @@ class ProcessBackend:
             raise ValueError("k must be positive")
         if barrier_timeout_s <= 0:
             raise ValueError("barrier_timeout_s must be positive")
+        if fail_worker_at is not None and fault_plan is not None:
+            raise ValueError("pass either fail_worker_at= or fault_plan=, not both")
         self.ratings = ratings
         self.k = k
         self.n_workers = n_workers
@@ -370,17 +497,41 @@ class ProcessBackend:
         self.batch_size = batch_size
         self.seed = seed
         self.barrier_timeout_s = float(barrier_timeout_s)
-        #: fault-injection hook for tests: (worker_id, epoch) that crashes
+        #: legacy fault-injection hook: (worker_id, epoch) that crashes;
+        #: normalized into the FaultPlan below
         self.fail_worker_at = fail_worker_at
+        if fault_plan is None and fail_worker_at is not None:
+            fault_plan = FaultPlan().kill(fail_worker_at[0], fail_worker_at[1])
+        #: the injected-failure script (docs/resilience.md); pruned by
+        #: the engine after each recovery so faults fire at most once
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self.model: MFModel | None = None
         self.data: RatingMatrix | None = None
         self._stack: ExitStack | None = None
+        #: warm-start state the engine sets for checkpoint resume and
+        #: recovery restarts (see EpochEngine)
+        self.initial_model: MFModel | None = None
+        self.epoch_offset = 0
+        self._procs: list = []
 
     @staticmethod
-    def _terminate_stragglers(procs: list) -> None:
-        for proc in procs:
-            if proc.is_alive():  # pragma: no cover - crash cleanup
-                proc.terminate()
+    def _terminate_stragglers(procs: list, grace_s: float = _TERMINATE_GRACE_S) -> None:
+        """Reap every still-live worker, escalating terminate -> kill.
+
+        A worker ignoring (or masking) SIGTERM must never leave a
+        zombie child holding shared-memory mappings, so after a join
+        grace period the survivors get SIGKILL, which cannot be caught.
+        """
+        live = [proc for proc in procs if proc.is_alive()]
+        for proc in live:
+            proc.terminate()
+        deadline = time.perf_counter() + grace_s
+        for proc in live:
+            proc.join(timeout=max(0.0, deadline - time.perf_counter()))
+        for proc in live:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=grace_s)
 
     # -- lifecycle -------------------------------------------------------
     def open(self, plan, channel: Channel, sync_policy: "SyncPolicy",
@@ -399,7 +550,11 @@ class ProcessBackend:
             )
         data = self.ratings.shuffle(self.seed)
         assignments = partition_rows(data, plan.fractions, GridKind.ROW)
-        init = MFModel.init_for(data, self.k, seed=self.seed)
+        init = (
+            self.initial_model
+            if self.initial_model is not None
+            else MFModel.init_for(data, self.k, seed=self.seed)
+        )
         ctx = mp.get_context("spawn")
 
         self.data = data
@@ -479,10 +634,8 @@ class ProcessBackend:
                         self._end_barrier,
                         self.barrier_timeout_s,
                         self._rings[wid].spec if telemetry is not None else None,
-                        self.fail_worker_at[1]
-                        if self.fail_worker_at is not None
-                        and self.fail_worker_at[0] == wid
-                        else -1,
+                        self.epoch_offset,
+                        self.fault_plan.for_rank(wid),
                     ),
                     daemon=True,
                 )
@@ -494,16 +647,57 @@ class ProcessBackend:
             raise
 
     def _await(self, barrier, point: str, epoch: int) -> None:
+        """Rendezvous with every worker, detecting failures server-side.
+
+        The server must never time out *inside* the barrier: a timed-out
+        ``Barrier.wait`` breaks the barrier, which instantly kills every
+        blocked survivor with ``BrokenBarrierError`` — destroying the
+        exact evidence (who is still alive and waiting) the health plane
+        needs.  So the server first watches the progress stamps and
+        process states from outside, and only enters the barrier once
+        every rank has stamped this rendezvous; workers wait with a
+        longer timeout (``_WORKER_PATIENCE_S``), so at detection time
+        the survivors are still blocked, classifiable, and are then
+        reaped by ``close()``.
+        """
+        expected = 2 * epoch + (1 if point == "start" else 2)
+        stamps = self._progress.array
+        deadline = time.perf_counter() + self.barrier_timeout_s
+
+        def _missing() -> tuple[int, ...]:
+            # a killed worker may have stamped *before* dying, so a rank
+            # also counts as missing when its process already exited
+            # abnormally — progress stamps alone would misname it
+            return tuple(
+                rank
+                for rank in range(self.n_workers)
+                if stamps[rank] < expected
+                or self._procs[rank].exitcode not in (None, 0)
+            )
+
+        while True:
+            missing = _missing()
+            if not missing:
+                break
+            # a rank whose process already exited can never arrive, so a
+            # dead worker is detected as soon as its exit code lands
+            # (milliseconds) — the full timeout only applies to
+            # stragglers, which might still make it
+            dead = any(
+                self._procs[rank].exitcode not in (None, 0)
+                for rank in missing
+            )
+            if dead or time.perf_counter() >= deadline:
+                raise WorkerSyncError(
+                    point, epoch, missing, self.barrier_timeout_s
+                )
+            # liveness poll, not a lock wait: bounded by the deadline
+            time.sleep(0.002)  # hcclint: disable=blocking-call
         try:
             barrier.wait(timeout=self.barrier_timeout_s)
         except threading.BrokenBarrierError as exc:
-            expected = 2 * epoch + (1 if point == "start" else 2)
-            stamps = self._progress.array
-            missing = tuple(
-                rank for rank in range(self.n_workers) if stamps[rank] < expected
-            )
             raise WorkerSyncError(
-                point, epoch, missing, self.barrier_timeout_s
+                point, epoch, _missing(), self.barrier_timeout_s
             ) from exc
 
     # -- stages ----------------------------------------------------------
@@ -531,13 +725,22 @@ class ProcessBackend:
         timed = self._telemetry is not None
         if timed:
             m0 = time.perf_counter()
-        np.copyto(self.model.P, self._p_shared.array)
-        q_base = self._q_base
+        # validate every push *before* merging any of them: the epoch's
+        # sync is all-or-nothing, so a garbage payload (torn write from
+        # a dying worker, injected corruption) leaves the model at the
+        # last cleanly-synced epoch — the state a retry restarts from
+        decoded: list[np.ndarray] = []
         for wid, buf in enumerate(self._push_bufs):
             wire = buf.array
             received = (
                 wire if wire.dtype == np.float32 else self._channel.decode(wire)
             )
+            if not self._channel.payload_ok(received):
+                raise WirePayloadError(wid, epoch)
+            decoded.append(received)
+        np.copyto(self.model.P, self._p_shared.array)
+        q_base = self._q_base
+        for wid, received in enumerate(decoded):
             weight = self._sync_policy.weight(wid, self._fractions)
             # additive delta merge: workers trained on disjoint row-grid
             # shards, so their Q deltas are distinct SGD steps and all
@@ -563,6 +766,42 @@ class ProcessBackend:
         if timed:
             self._server_spans.append((Phase.EVAL, epoch, e0, time.perf_counter()))
         return rmse
+
+    # -- resilience ------------------------------------------------------
+    def health_report(self, err: Exception | None = None) -> HealthReport:
+        """Classify every worker at failure time (the health plane).
+
+        Must run *before* :meth:`close` — teardown terminates the
+        stragglers this report is meant to distinguish from the dead.
+        Fuses the barrier progress evidence carried by ``err``
+        (``missing_ranks``) with each process's live/exit state.
+
+        A worker that crashed *moments* before the report would still
+        show ``exitcode is None`` (the OS has not reaped it yet), so
+        each missing rank gets a short grace join for its exit code to
+        settle; a genuine straggler survives the grace and stays
+        classified as straggling.
+        """
+        missing = tuple(getattr(err, "missing_ranks", ()) or ())
+        deadline = time.perf_counter() + 1.0
+        for rank in missing:
+            if rank < len(self._procs) and self._procs[rank].exitcode is None:
+                grace = max(0.0, deadline - time.perf_counter())
+                self._procs[rank].join(timeout=grace)
+        exitcodes = [proc.exitcode for proc in self._procs]
+        return classify(
+            self.n_workers, missing, exitcodes, cause=str(err) if err else ""
+        )
+
+    def drop_faults_through(self, epoch: int) -> None:
+        """Retire injected faults at or before ``epoch`` (already fired).
+
+        The engine calls this before a recovery restart so the fault
+        that broke the epoch does not fire again on the re-run — and so
+        rank-keyed faults never land on a *different* worker after a
+        redistribution renumbers the survivors.
+        """
+        self.fault_plan = self.fault_plan.without_epochs_through(epoch)
 
     # -- teardown --------------------------------------------------------
     def finalize(self, telemetry) -> None:

@@ -101,6 +101,19 @@ class Channel:
             return self.inner.decode(wire)
         return np.array(wire, dtype=np.float32, copy=True)
 
+    def payload_ok(self, received: np.ndarray) -> bool:
+        """Is a decoded payload structurally sane to merge?
+
+        The server validates *every* push before merging *any* of them
+        (all-or-nothing epoch sync), so one garbage payload — a torn
+        write from a dying worker, an injected corruption — can never
+        leave the global Q half-merged.  The base check is finiteness;
+        middlewares may narrow it further.
+        """
+        if self.inner is not None:
+            return self.inner.payload_ok(received)
+        return bool(np.isfinite(received).all())
+
     # -- traffic accounting ---------------------------------------------
     def traffic(self, m: int, n: int, k: int) -> WireTraffic:
         """Feature values on the wire for an ``m x n`` problem at rank k."""

@@ -23,15 +23,30 @@ backends to prove the planes execute the same sequence.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
+from repro.core.config import RecoveryPolicy
 from repro.core.partition import PartitionPlan
+from repro.engine.backends import WirePayloadError, WorkerSyncError
 from repro.engine.channels import Channel
 from repro.engine.partitions import PartitionProvider, as_provider
+from repro.resilience.health import HealthReport
+from repro.resilience.policy import (
+    RecoveryAction,
+    ResilienceSummary,
+    TrainingAborted,
+    decide,
+    redistribute,
+)
 
 #: The fixed per-epoch stage sequence (paper Figure 4 steps 4-7).
 STAGES = ("pull", "compute", "push", "sync")
+
+#: Failures the recovery policy may handle; anything else propagates.
+RECOVERABLE_ERRORS = (WorkerSyncError, WirePayloadError)
 
 
 # ---------------------------------------------------------------------------
@@ -121,6 +136,8 @@ class EngineResult:
     rmse_history: list[float]
     model: object | None = field(default=None, repr=False)
     sim_seconds: float = 0.0
+    #: what the resilience plane did (None on a plain fail-fast run)
+    resilience: ResilienceSummary | None = None
 
     def stage_sequence(self) -> list[tuple[int, str]]:
         """The executed ``(epoch, stage)`` order — the parity signature."""
@@ -153,7 +170,29 @@ class EngineResult:
 # the engine
 # ---------------------------------------------------------------------------
 class EpochEngine:
-    """Drive the stage pipeline over a backend for a number of epochs."""
+    """Drive the stage pipeline over a backend for a number of epochs.
+
+    Beyond the plain loop, the engine owns the run's *resilience plane*
+    (docs/resilience.md), all opt-in:
+
+    * ``recovery=`` (a :class:`~repro.core.config.RecoveryPolicy`)
+      turns worker failures from fatal into recoverable: transient
+      failures retry the epoch with exponential backoff, a dead worker
+      triggers a shard redistribution across the survivors, and
+      exhausted recovery checkpoints (when a path is configured) and
+      raises :class:`~repro.resilience.TrainingAborted`;
+    * ``checkpoint_every=``/``checkpoint_path=`` write an atomic
+      checkpoint at epoch boundaries;
+    * ``resume_from=`` warm-starts from a saved checkpoint, replaying
+      the completed epochs out of the workers' RNG streams so a
+      resumed run continues the exact sample order of the
+      straight-through run.
+
+    Backends run *local* epoch indices (each (re)open counts from 0)
+    while the stage trace, telemetry, faults and checkpoints speak
+    *global* epochs; with no resume and no failure the two coincide and
+    the engine behaves exactly as the plain loop.
+    """
 
     def __init__(
         self,
@@ -162,12 +201,32 @@ class EpochEngine:
         partitions: "PartitionProvider | PartitionPlan | Sequence[float] | None" = None,
         sync_policy: SyncPolicy | None = None,
         telemetry=None,
+        recovery: RecoveryPolicy | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: "str | os.PathLike | None" = None,
+        resume_from: "str | os.PathLike | None" = None,
     ):
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if checkpoint_every > 0 and checkpoint_path is None:
+            raise ValueError("checkpoint_every needs a checkpoint_path")
         self.backend = backend
         self.channel = channel if channel is not None else Channel()
         self.partitions = as_provider(partitions)
         self.sync_policy = sync_policy if sync_policy is not None else AdditiveDeltaSync()
         self.telemetry = telemetry
+        self.recovery = recovery
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.resume_from = resume_from
+
+    @property
+    def _resilience_active(self) -> bool:
+        return (
+            self.recovery is not None
+            or self.checkpoint_every > 0
+            or self.resume_from is not None
+        )
 
     def run(self, epochs: int) -> EngineResult:
         """Execute ``epochs`` runs of the pull/compute/push/sync pipeline."""
@@ -177,25 +236,88 @@ class EpochEngine:
         registry = self.telemetry.registry if self.telemetry is not None else None
         trace: list[StageEvent] = []
         rmse_history: list[float] = []
-        self.backend.open(
-            plan, self.channel, self.sync_policy, self.telemetry, epochs
-        )
-        try:
-            for epoch in range(epochs):
-                for stage in STAGES:
-                    detail = getattr(self.backend, stage)(epoch) or {}
-                    trace.append(StageEvent(epoch, stage, detail))
-                rmse = self.backend.evaluate(epoch)
-                if rmse is not None:
-                    rmse_history.append(rmse)
-                    if registry is not None:
-                        registry.gauge(
-                            "epoch_rmse", "training RMSE at epoch end"
-                        ).set(rmse, epoch=epoch)
-                        registry.event("epoch", epoch=epoch, rmse=rmse)
-            self.backend.finalize(self.telemetry)
-        finally:
-            self.backend.close()
+        summary = ResilienceSummary() if self._resilience_active else None
+
+        current_plan = plan
+        done = 0                       # global epochs completed so far
+        warm = None                    # model to warm-start the next open from
+        if self.resume_from is not None:
+            from repro.core.checkpoint import load_checkpoint
+
+            ckpt = load_checkpoint(self.resume_from)
+            if ckpt.epoch >= epochs:
+                raise ValueError(
+                    f"checkpoint already at epoch {ckpt.epoch}; nothing to "
+                    f"resume within {epochs} epochs"
+                )
+            done = ckpt.epoch
+            warm = ckpt.model
+            rmse_history = [float(r) for r in ckpt.rmse_history]
+            summary.resumed_from_epoch = done
+        retries = 0
+
+        while True:
+            offset = done
+            remaining = epochs - done
+            self._stage_warm_start(warm, offset)
+            self.backend.open(
+                current_plan, self.channel, self.sync_policy, self.telemetry,
+                remaining,
+            )
+            failure: Exception | None = None
+            report: HealthReport | None = None
+            try:
+                try:
+                    for local in range(remaining):
+                        epoch = offset + local
+                        for stage in STAGES:
+                            detail = getattr(self.backend, stage)(local) or {}
+                            trace.append(StageEvent(epoch, stage, detail))
+                        rmse = self.backend.evaluate(local)
+                        if rmse is not None:
+                            rmse_history.append(rmse)
+                            if registry is not None:
+                                registry.gauge(
+                                    "epoch_rmse", "training RMSE at epoch end"
+                                ).set(rmse, epoch=epoch)
+                                registry.event("epoch", epoch=epoch, rmse=rmse)
+                        done = epoch + 1
+                        retries = 0  # progress resets the transient budget
+                        if summary is not None and current_plan is not plan:
+                            summary.degraded_epochs += 1
+                            if registry is not None:
+                                registry.counter(
+                                    "resilience_degraded_epochs_total",
+                                    "epochs run on a redistributed plan",
+                                ).inc()
+                        if (
+                            self.checkpoint_every
+                            and done % self.checkpoint_every == 0
+                        ):
+                            self._write_checkpoint(
+                                done, rmse_history, summary, registry
+                            )
+                    self.backend.finalize(self.telemetry)
+                except RECOVERABLE_ERRORS as err:
+                    if self.recovery is None:
+                        raise
+                    failure = err
+                    # health must be read before close(): teardown
+                    # terminates the stragglers the report classifies
+                    reporter = getattr(self.backend, "health_report", None)
+                    report = reporter(err) if reporter is not None else None
+            finally:
+                self.backend.close()
+            if failure is None:
+                break
+            warm = getattr(self.backend, "model", None)
+            current_plan, retries = self._recover(
+                failure, report, current_plan, done, retries,
+                rmse_history, summary, registry,
+            )
+
+        if summary is not None:
+            summary.final_workers = self.backend.n_workers
         return EngineResult(
             backend=self.backend.name,
             channel=self.channel.describe(),
@@ -206,4 +328,120 @@ class EpochEngine:
             rmse_history=rmse_history,
             model=getattr(self.backend, "model", None),
             sim_seconds=float(getattr(self.backend, "sim_seconds", 0.0)),
+            resilience=summary,
         )
+
+    # -- resilience internals -------------------------------------------
+    def _stage_warm_start(self, model, offset: int) -> None:
+        """Hand the next attempt its starting factors and epoch offset."""
+        if model is None and offset == 0:
+            return
+        if not (
+            hasattr(self.backend, "initial_model")
+            and hasattr(self.backend, "epoch_offset")
+        ):
+            raise ValueError(
+                f"the {self.backend.name!r} backend does not support warm "
+                "starts (resume_from=/recovery need initial_model and "
+                "epoch_offset)"
+            )
+        self.backend.initial_model = model
+        self.backend.epoch_offset = offset
+
+    def _write_checkpoint(
+        self, done: int, rmse_history: list[float], summary, registry
+    ) -> None:
+        from repro.core.checkpoint import Checkpoint, save_checkpoint
+
+        model = getattr(self.backend, "model", None)
+        if model is None:
+            raise ValueError(
+                f"the {self.backend.name!r} backend exposes no model to "
+                "checkpoint"
+            )
+        save_checkpoint(
+            Checkpoint(
+                model=model, epoch=done, rmse_history=list(rmse_history)
+            ),
+            self.checkpoint_path,
+        )
+        if summary is not None:
+            summary.checkpoints_written += 1
+        if registry is not None:
+            registry.counter(
+                "resilience_checkpoints_total",
+                "checkpoints written at epoch boundaries",
+            ).inc()
+            registry.event(
+                "resilience_checkpoint", epoch=done,
+                path=str(self.checkpoint_path),
+            )
+
+    def _recover(
+        self,
+        err: Exception,
+        report: "HealthReport | None",
+        current_plan: PartitionPlan,
+        done: int,
+        retries: int,
+        rmse_history: list[float],
+        summary: ResilienceSummary,
+        registry,
+    ) -> tuple[PartitionPlan, int]:
+        """Decide and apply the recovery action for one failure.
+
+        Returns the (possibly redistributed) plan and the new transient
+        retry count for the next attempt; raises
+        :class:`TrainingAborted` when the policy gives up.
+        """
+        policy = self.recovery
+        if report is None:
+            report = HealthReport((), cause=str(err))
+        action = decide(policy, report, retries, self.backend.n_workers)
+        summary.failures.append(
+            f"epoch {done}: {type(err).__name__} ({report.describe()}) "
+            f"-> {action.value}"
+        )
+        if registry is not None:
+            registry.event(
+                "resilience_failure", epoch=done, action=action.value,
+                error=type(err).__name__, dead=list(report.dead_ranks),
+                stragglers=list(report.straggler_ranks),
+            )
+        # injected faults at or before the failed epoch have fired;
+        # retire them so the re-run does not trip over them again
+        dropper = getattr(self.backend, "drop_faults_through", None)
+        if dropper is not None:
+            dropper(done)
+
+        if action is RecoveryAction.ABORT:
+            path = None
+            if policy.checkpoint_on_abort and self.checkpoint_path is not None:
+                self._write_checkpoint(done, rmse_history, summary, registry)
+                path = str(self.checkpoint_path)
+            raise TrainingAborted(done, str(err), path) from err
+        if action is RecoveryAction.REDISTRIBUTE:
+            new_plan = redistribute(current_plan, report.dead_ranks)
+            self.backend.n_workers = new_plan.n_workers
+            summary.redistributions += 1
+            if registry is not None:
+                registry.counter(
+                    "resilience_redistributions_total",
+                    "dead-worker shard redistributions",
+                ).inc()
+                registry.event(
+                    "resilience_redistribution", epoch=done,
+                    dead=list(report.dead_ranks),
+                    survivors=new_plan.n_workers,
+                )
+            return new_plan, 0
+        # RETRY: transient failure, back off exponentially
+        summary.retries += 1
+        if registry is not None:
+            registry.counter(
+                "resilience_retries_total", "transient-failure epoch retries"
+            ).inc()
+        backoff = policy.backoff_s(retries)
+        if backoff > 0:
+            time.sleep(backoff)
+        return current_plan, retries + 1

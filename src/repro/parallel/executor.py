@@ -37,9 +37,12 @@ from repro.data.ratings import RatingMatrix
 from repro.mf.model import MFModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.config import HCCConfig
+    import os
+
+    from repro.core.config import HCCConfig, RecoveryPolicy
     from repro.engine.channels import Channel
     from repro.obs import Telemetry
+    from repro.resilience import FaultPlan, ResilienceSummary
 
 #: Default rendezvous ceiling; kept as a module constant for backward
 #: compatibility — configure per run via ``HCCConfig.barrier_timeout_s``
@@ -58,6 +61,8 @@ class ParallelTrainResult:
     nnz: int
     model: MFModel = field(repr=False)
     telemetry: "Telemetry | None" = field(default=None, repr=False)
+    #: what the resilience plane did, when any of its features were on
+    resilience: "ResilienceSummary | None" = None
 
     @property
     def updates_per_second(self) -> float:
@@ -87,6 +92,11 @@ class SharedMemoryTrainer:
         channel: "Channel | None" = None,
         config: "HCCConfig | None" = None,
         barrier_timeout_s: float | None = None,
+        fault_plan: "FaultPlan | None" = None,
+        recovery: "RecoveryPolicy | None" = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: "str | os.PathLike | None" = None,
+        resume_from: "str | os.PathLike | None" = None,
     ):
         # imported lazily to avoid a module-level cycle with
         # repro.engine.backends (which maps repro.parallel.shm segments)
@@ -129,6 +139,19 @@ class SharedMemoryTrainer:
         self.telemetry = telemetry
         #: fault-injection hook for tests: (worker_id, epoch) that crashes
         self.fail_worker_at = fail_worker_at
+        #: structured fault injection (docs/resilience.md); supersedes
+        #: ``fail_worker_at`` — ProcessBackend rejects passing both
+        self.fault_plan = fault_plan
+        #: recovery policy; falls back to the config's, when one is given
+        if recovery is not None:
+            self.recovery = recovery
+        elif config is not None:
+            self.recovery = config.recovery
+        else:
+            self.recovery = None
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.resume_from = resume_from
 
     def train(self, epochs: int = 5) -> ParallelTrainResult:
         from repro.engine import EpochEngine, ProcessBackend
@@ -145,12 +168,17 @@ class SharedMemoryTrainer:
             seed=self.seed,
             barrier_timeout_s=self.barrier_timeout_s,
             fail_worker_at=self.fail_worker_at,
+            fault_plan=self.fault_plan,
         )
         engine = EpochEngine(
             backend,
             channel=self.channel,
             partitions=self.partitions,
             telemetry=self.telemetry,
+            recovery=self.recovery,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_path=self.checkpoint_path,
+            resume_from=self.resume_from,
         )
         t0 = time.perf_counter()
         result = engine.run(epochs)
@@ -161,15 +189,16 @@ class SharedMemoryTrainer:
                 "run_elapsed_seconds", "wall-clock of the whole run"
             ).set(elapsed)
             self.telemetry.registry.event(
-                "run_complete", epochs=epochs, n_workers=self.n_workers,
+                "run_complete", epochs=epochs, n_workers=backend.n_workers,
                 elapsed_seconds=elapsed, final_rmse=history[-1],
             )
         return ParallelTrainResult(
             rmse_history=history,
             elapsed_seconds=elapsed,
             epochs=epochs,
-            n_workers=self.n_workers,
+            n_workers=backend.n_workers,
             nnz=backend.data.nnz,
             model=backend.model,
             telemetry=self.telemetry,
+            resilience=result.resilience,
         )

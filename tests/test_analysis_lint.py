@@ -36,7 +36,7 @@ class TestFramework:
         ids = {r.rule_id for r in rules}
         assert {"HCC101", "HCC102", "HCC103", "HCC104", "HCC105",
                 "HCC106", "HCC107", "HCC108", "HCC109", "HCC110",
-                "HCC111"} <= ids
+                "HCC111", "HCC112"} <= ids
         # ids and names are unique
         assert len(ids) == len(rules)
         assert len({r.name for r in rules}) == len(rules)
@@ -611,6 +611,73 @@ class TestEpochLoop:
                 self.run_rotation_step()
         """
         assert issues_for(src, path=self.FRAMEWORK, rule="epoch-loop") == []
+
+
+class TestUnboundedWait:
+    # an engine module that is NOT a worker-loop module, so HCC112 owns
+    # all three attrs (in worker-loop modules HCC107 covers wait/join)
+    ENGINE = "src/repro/engine/pipeline.py"
+
+    def test_bare_rendezvous_flagged(self):
+        src = """
+        def rendezvous(barrier, proc, queue):
+            barrier.wait()
+            proc.join()
+            return queue.get()
+        """
+        issues = issues_for(src, path=self.ENGINE, rule="unbounded-wait")
+        assert len(issues) == 3
+        assert all(i.severity is Severity.ERROR for i in issues)
+
+    def test_timeout_kwarg_clean(self):
+        src = """
+        def rendezvous(barrier, proc, queue):
+            barrier.wait(timeout=5.0)
+            proc.join(timeout=5.0)
+            return queue.get(timeout=5.0)
+        """
+        assert issues_for(src, path=self.ENGINE, rule="unbounded-wait") == []
+
+    def test_positional_arg_clean(self):
+        # a positional arg is a timeout for these APIs (join(5.0))
+        src = """
+        def reap(proc):
+            proc.join(5.0)
+        """
+        assert issues_for(src, path=self.ENGINE, rule="unbounded-wait") == []
+
+    def test_string_receivers_not_flagged(self):
+        src = """
+        def render(parts):
+            return ", ".join(parts) + f"{parts}".join(parts)
+        """
+        assert issues_for(src, path=self.ENGINE, rule="unbounded-wait") == []
+
+    def test_worker_loop_module_only_adds_get(self):
+        # wait/join there belong to HCC107; HCC112 must not double-report
+        src = """
+        def rendezvous(barrier, proc, queue):
+            barrier.wait()
+            proc.join()
+            return queue.get()
+        """
+        issues = issues_for(src, path=WORKER, rule="unbounded-wait")
+        assert len(issues) == 1
+        assert "get" in issues[0].message
+
+    def test_module_outside_coordination_tree_exempt(self):
+        src = """
+        def fetch(queue):
+            return queue.get()
+        """
+        assert issues_for(src, path=NEUTRAL, rule="unbounded-wait") == []
+
+    def test_suppression(self):
+        src = """
+        def fetch(queue):
+            return queue.get()  # hcclint: disable=unbounded-wait
+        """
+        assert issues_for(src, path=self.ENGINE, rule="unbounded-wait") == []
 
 
 class TestRepoIsClean:

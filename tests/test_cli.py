@@ -250,3 +250,23 @@ class TestObservabilityCli:
     def test_obs_report_missing_file(self, capsys, tmp_path):
         assert main(["obs-report", "--trace", str(tmp_path / "no.json")]) == 2
         assert capsys.readouterr().err
+
+    def test_fault_smoke_parser_defaults(self):
+        args = build_parser().parse_args(["fault-smoke"])
+        assert args.workers == 3
+        assert args.epochs == 4
+        assert args.tolerance == pytest.approx(0.05)
+        assert args.barrier_timeout == pytest.approx(5.0)
+
+    def test_fault_smoke_passes(self, capsys):
+        assert main([
+            "fault-smoke", "--nnz", "4000", "--epochs", "3", "--k", "8",
+            "--workers", "2", "--barrier-timeout", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault-smoke: OK" in out
+        assert "redistributions=1" in out
+
+    def test_fault_smoke_needs_two_workers(self, capsys):
+        assert main(["fault-smoke", "--workers", "1"]) == 2
+        assert "at least 2 workers" in capsys.readouterr().err

@@ -104,3 +104,50 @@ class TestResume:
         assert resumed.rmse_history[-1] == pytest.approx(
             h8.history.rmse[-1], abs=0.05
         )
+
+
+class TestAtomicWrites:
+    def test_no_temp_residue_after_save(self, trained_ckpt, tmp_path):
+        save_checkpoint(trained_ckpt, tmp_path / "c")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failed_write_preserves_previous_checkpoint(
+        self, trained_ckpt, tmp_path, monkeypatch
+    ):
+        """A crash mid-write (simulated: the factor serializer raises)
+        must leave the previous checkpoint readable and no temp debris —
+        that is the whole point of writing checkpoints atomically."""
+        import dataclasses
+
+        import repro.core.checkpoint as ck
+
+        path = tmp_path / "c"
+        save_checkpoint(trained_ckpt, path)
+
+        def disk_full(*args, **kwargs):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(ck.np, "savez_compressed", disk_full)
+        newer = dataclasses.replace(trained_ckpt, epoch=9)
+        with pytest.raises(OSError):
+            save_checkpoint(newer, path)
+        monkeypatch.undo()
+
+        back = load_checkpoint(path)
+        assert back.epoch == 4  # the old checkpoint, intact
+        np.testing.assert_array_equal(back.model.P, trained_ckpt.model.P)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_version_error_names_both_versions(self, trained_ckpt, tmp_path):
+        import json
+
+        path = tmp_path / "c"
+        save_checkpoint(trained_ckpt, path)
+        meta = json.loads((tmp_path / "c.json").read_text())
+        meta["version"] = CHECKPOINT_VERSION + 99
+        (tmp_path / "c.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError) as ei:
+            load_checkpoint(path)
+        msg = str(ei.value)
+        assert str(CHECKPOINT_VERSION + 99) in msg   # what was on disk
+        assert f"version {CHECKPOINT_VERSION}" in msg  # what this build reads

@@ -33,7 +33,7 @@ class TestPublicAPI:
         for mod in (
             "repro.core", "repro.mf", "repro.data",
             "repro.hardware", "repro.parallel", "repro.experiments",
-            "repro.analysis",
+            "repro.analysis", "repro.resilience",
         ):
             importlib.import_module(mod)
 
