@@ -79,6 +79,12 @@ stage "engine-parity" python -m repro engine-parity \
 stage "fault-smoke" python -m repro fault-smoke \
     --nnz 4000 --epochs 4 --k 8 --workers 3 --barrier-timeout 5
 
+# 2e. chaos-parity: a small seeded fault matrix through both planes —
+# one scenario cross-plane, the rest sim-only invariants — plus a
+# randomized sim-only sweep (docs/resilience.md)
+stage "chaos-parity" python -m repro chaos-parity \
+    --seed 0 --process-scenarios 1 --sim-scenarios 8
+
 # 3. ruff (style/pyflakes), if installed
 if command -v ruff >/dev/null 2>&1; then
     stage "ruff" ruff check src tests

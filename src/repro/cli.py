@@ -31,6 +31,11 @@ Commands
     Run the same tiny workload through the sim and process backends of
     the epoch engine and fail if their stage sequences or per-epoch
     update counts diverge (the planes-unified gate of scripts/check.sh).
+``chaos-parity``
+    Run the seeded fault matrix through both planes and hold them to
+    the differential contract (identical recovery decisions and final
+    fractions, RMSE within tolerance, degraded-cost drift within
+    bound), plus a randomized sim-only invariant sweep.
 """
 
 from __future__ import annotations
@@ -498,6 +503,69 @@ def _cmd_fault_smoke(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos_parity(args: argparse.Namespace) -> int:
+    """Differential chaos gate: both planes, same faults, same story.
+
+    Runs the named default matrix: the first ``--process-scenarios``
+    scenarios go through *both* backends and are held to the parity
+    contract; the remainder run sim-only against the safety invariants.
+    Then sweeps ``--sim-scenarios`` seeded randomized scenarios
+    (sim-only, fast) for the same invariants.  Any violation prints the
+    reproducing seed.
+    """
+    from repro.testing import (
+        check_invariants,
+        check_parity,
+        default_matrix,
+        generate_scenarios,
+        run_scenario,
+    )
+
+    matrix = default_matrix(args.seed)
+    n_both = len(matrix) if args.process_scenarios < 0 else args.process_scenarios
+    ok = True
+    for i, scenario in enumerate(matrix):
+        if i < n_both:
+            sim = run_scenario(scenario, "sim")
+            process = run_scenario(scenario, "process")
+            report = check_parity(
+                sim, process,
+                rmse_rel_tol=args.rmse_tol,
+                drift_bound=args.drift_bound,
+            )
+            print(report.describe())
+            if not report.ok:
+                ok = False
+                print(f"  reproduce: {scenario.describe()}")
+            for plane, outcome in (("sim", sim), ("process", process)):
+                for problem in check_invariants(scenario, outcome):
+                    ok = False
+                    print(f"  INVARIANT [{plane}] {problem} "
+                          f"({scenario.describe()})")
+        else:
+            outcome = run_scenario(scenario, "sim")
+            problems = check_invariants(scenario, outcome)
+            status = "ok" if not problems else "FAIL"
+            print(f"scenario {scenario.name} (sim only): {status}")
+            for problem in problems:
+                ok = False
+                print(f"  INVARIANT {problem} ({scenario.describe()})")
+    if args.sim_scenarios > 0:
+        clean = 0
+        for scenario in generate_scenarios(args.seed, args.sim_scenarios):
+            outcome = run_scenario(scenario, "sim")
+            problems = check_invariants(scenario, outcome)
+            if problems:
+                ok = False
+                for problem in problems:
+                    print(f"  INVARIANT {problem} ({scenario.describe()})")
+            else:
+                clean += 1
+        print(f"randomized sweep: {clean}/{args.sim_scenarios} scenarios clean")
+    print(f"chaos-parity: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def _cmd_race_check(args: argparse.Namespace) -> int:
     from repro.analysis.race import race_check
 
@@ -626,6 +694,25 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--tolerance", type=float, default=0.05,
                        help="max relative final-RMSE divergence vs baseline")
 
+    chaos = sub.add_parser(
+        "chaos-parity",
+        help="run the seeded fault matrix through both planes and "
+             "require identical recovery stories",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="matrix seed (offsets data/model seeds too)")
+    chaos.add_argument("--process-scenarios", type=int, default=-1,
+                       help="how many default-matrix scenarios to run on "
+                            "both planes (-1 = all; the rest run sim-only)")
+    chaos.add_argument("--sim-scenarios", type=int, default=8,
+                       help="randomized sim-only invariant scenarios to sweep")
+    chaos.add_argument("--rmse-tol", type=float, default=0.08,
+                       help="max relative final-RMSE divergence across planes")
+    chaos.add_argument("--drift-bound", type=float, default=1.0,
+                       help="max relative degraded-cost ratio drift between "
+                            "the sim's analytic and the process plane's "
+                            "measured slowdown")
+
     race = sub.add_parser(
         "race-check",
         help="prove P-row ownership + one-copy discipline dynamically",
@@ -654,6 +741,7 @@ _COMMANDS = {
     "race-check": _cmd_race_check,
     "engine-parity": _cmd_engine_parity,
     "fault-smoke": _cmd_fault_smoke,
+    "chaos-parity": _cmd_chaos_parity,
 }
 
 

@@ -190,6 +190,7 @@ class TimeCostModel:
         fractions,
         streams: int | None = None,
         epoch: int = 0,
+        workers: "list[Processor] | None" = None,
     ) -> EpochCost:
         """Model one epoch under a partition vector.
 
@@ -198,9 +199,14 @@ class TimeCostModel:
         the server merges pushes serially in arrival order.  With
         ``streams > 1`` each worker with copy engines runs the Strategy-3
         pipeline instead of the serial pull->compute->push.
+
+        ``workers`` overrides the platform's worker list — the degraded
+        costing path prices an epoch over the surviving subset without
+        rebuilding the platform.
         """
         fractions = np.asarray(fractions, dtype=np.float64)
-        workers = self.platform.workers
+        if workers is None:
+            workers = self.platform.workers
         if len(fractions) != len(workers):
             raise ValueError(
                 f"{len(fractions)} fractions for {len(workers)} workers"
@@ -262,7 +268,7 @@ class TimeCostModel:
         )
         max_time = max(c.epoch_time for c in costs) if costs else 0.0
         total = max_time + exposed
-        regime = self.sync_regime([c.epoch_time for c in costs])
+        regime = self.sync_regime([c.epoch_time for c in costs], len(workers))
         return EpochCost(
             workers=tuple(costs),
             sync_time_each=tsync,
@@ -271,9 +277,45 @@ class TimeCostModel:
             regime=regime,
         )
 
-    def sync_regime(self, worker_times) -> Regime:
+    def degraded_epoch_cost(
+        self,
+        fractions,
+        dead_ranks: "tuple[int, ...] | list[int] | set[int]",
+        streams: int | None = None,
+        epoch: int = 0,
+    ) -> EpochCost:
+        """Model an epoch after worker deaths (the Eq. 1-5 failure path).
+
+        ``fractions`` is the *healthy* partition vector; the dead
+        workers' ``x_i`` are reassigned across the survivors with
+        :func:`~repro.resilience.policy.redistribute`'s rate-proportional
+        renormalization — exactly the plan the recovery engine continues
+        with — and the epoch is then priced over the surviving subset of
+        the platform: ``T = max_{i in survivors}{...} + T_sync`` with one
+        fewer merge per dead worker.
+        """
+        # local import: resilience.policy imports core modules
+        from repro.resilience.policy import redistribute
+
+        fractions = np.asarray(fractions, dtype=np.float64)
+        workers = self.platform.workers
+        if len(fractions) != len(workers):
+            raise ValueError(
+                f"{len(fractions)} fractions for {len(workers)} workers"
+            )
+        plan = PartitionPlan("healthy", tuple(map(float, fractions)))
+        degraded = redistribute(plan, dead_ranks)
+        dead = set(dead_ranks)
+        survivors = [w for r, w in enumerate(workers) if r not in dead]
+        return self.epoch_cost(
+            degraded.fractions, streams=streams, epoch=epoch, workers=survivors
+        )
+
+    def sync_regime(self, worker_times, n_workers: int | None = None) -> Regime:
         """Eq. 5's branch test: max{T_i} / T_sync against lambda."""
-        tsync_total = self.sync_time() * self.platform.n_workers
+        if n_workers is None:
+            n_workers = self.platform.n_workers
+        tsync_total = self.sync_time() * n_workers
         if tsync_total <= 0:
             return Regime.COMPUTE_BOUND
         ratio = max(worker_times) / tsync_total

@@ -34,7 +34,7 @@ import numpy as np
 from repro.data.grid import GridKind, partition_rows
 from repro.data.ratings import RatingMatrix
 from repro.engine.channels import Channel
-from repro.hardware.timeline import Phase, Timeline
+from repro.hardware.timeline import Phase, Span, Timeline
 from repro.mf.kernels import ConflictPolicy, sgd_batch_update
 from repro.mf.model import MFModel
 from repro.parallel.shm import SharedArray, SharedArraySpec
@@ -110,7 +110,18 @@ class SimBackend:
     (what :meth:`repro.core.framework.HCCMF.prepare` produces); the
     backend partitions them by the engine-resolved plan.  ``cost_model``
     is optional: when given, every epoch advances :attr:`sim_seconds`
-    by that plan's analytic epoch cost.
+    by that plan's analytic epoch cost — priced over the *surviving*
+    workers after a redistribution, which is the cost model's
+    degraded-epoch path.
+
+    ``fault_plan`` executes the same
+    :class:`~repro.resilience.faults.FaultPlan` kinds the process plane
+    injects, surfacing each at the exact detection point the server
+    would see it: kills and over-timeout stragglers raise a
+    :class:`WorkerSyncError` at the epoch's barriers, corrupt payloads
+    raise :class:`WirePayloadError` before any merge, dropped payloads
+    silently merge a zero delta, and benign stragglers stretch the
+    simulated clock.
     """
 
     name = "sim"
@@ -126,9 +137,13 @@ class SimBackend:
         batch_size: int = 4096,
         seed: int = 0,
         cost_model=None,
+        fault_plan: FaultPlan | None = None,
+        barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
     ):
         if k <= 0:
             raise ValueError("k must be positive")
+        if barrier_timeout_s <= 0:
+            raise ValueError("barrier_timeout_s must be positive")
         self.platform = platform
         self.ratings = ratings
         self.eval_data = eval_data
@@ -138,6 +153,10 @@ class SimBackend:
         self.batch_size = batch_size
         self.seed = seed
         self.cost_model = cost_model
+        #: the injected-failure script (docs/resilience.md); pruned by
+        #: the engine after each recovery so faults fire at most once
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self.barrier_timeout_s = float(barrier_timeout_s)
         self.n_workers = platform.n_workers
         self.model: MFModel | None = None
         self.sim_seconds = 0.0
@@ -147,6 +166,20 @@ class SimBackend:
         #: stream so a resumed run continues the exact sample order)
         self.initial_model: MFModel | None = None
         self.epoch_offset = 0
+        #: the platform workers still alive — pruned by
+        #: :meth:`remap_fault_ranks` when a redistribution removes ranks,
+        #: so degraded epochs are priced over the survivors
+        self._platform_workers = list(platform.workers)
+        #: per synced epoch: (global epoch, modeled cost, degraded?) —
+        #: the chaos-parity harness reads degraded-epoch costs off this
+        self.cost_log: list[tuple[int, float, bool]] = []
+        #: simulated process exit codes for killed ranks (13 hard, 1
+        #: soft), feeding classify() exactly as real exit codes would
+        self._sim_exitcodes: dict[int, int] = {}
+        self._attempt = -1
+        self._run_timeline: Timeline | None = None
+        self._run_origin: float | None = None
+        self._p_snapshot: np.ndarray | None = None
 
     # -- lifecycle -------------------------------------------------------
     def open(self, plan, channel: Channel, sync_policy: "SyncPolicy",
@@ -176,7 +209,7 @@ class SimBackend:
                 batch_size=self.batch_size, seed=self.seed, metrics=registry,
             )
             for i, (proc, assignment) in enumerate(
-                zip(self.platform.workers, assignments)
+                zip(self._platform_workers, assignments)
             )
         ]
         # replay already-completed epochs out of each worker's RNG
@@ -189,25 +222,95 @@ class SimBackend:
         self.server = ParameterServer(
             self.model, self.n_workers, channel=channel, metrics=registry,
         )
+        # degraded-epoch costing: after a redistribution the plan's
+        # fractions cover only the surviving workers, so the epoch is
+        # priced over that subset (Eq. 1-5 with renormalized x_i)
         self._epoch_sim_cost = (
-            self.cost_model.epoch_cost(plan.fractions).total
+            self.cost_model.epoch_cost(
+                plan.fractions, workers=self._platform_workers
+            ).total
             if self.cost_model is not None
             else 0.0
         )
-        self.sim_seconds = 0.0
+        self._attempt += 1
+        self._sim_exitcodes = {}
+        self._p_snapshot = None
+        if self._attempt == 0:
+            self.sim_seconds = 0.0
         # wall-clock spans only when telemetry opts the run in — the
-        # default path stays untimed
+        # default path stays untimed; the timeline and its clock origin
+        # persist across recovery re-opens so no attempt's spans are lost
         self._timed = telemetry is not None
-        self._timeline = Timeline() if self._timed else None
-        self._t_origin = time.perf_counter() if self._timed else 0.0
+        if self._timed:
+            if self._run_timeline is None:
+                self._run_timeline = Timeline()
+                self._run_origin = time.perf_counter()
+            self._timeline = self._run_timeline
+            self._t_origin = self._run_origin
+        else:
+            self._timeline = None
+            self._t_origin = 0.0
         self._q_locals: list[np.ndarray] = []
         self._q_news: list[np.ndarray] = []
 
     def _now(self) -> float:
         return time.perf_counter() - self._t_origin
 
+    # -- fault injection -------------------------------------------------
+    def _faults_at(self, kind: str, epoch: int) -> list[Fault]:
+        """Pending faults of ``kind`` keyed to this *local* epoch.
+
+        Fault plans speak global epochs; stale entries aimed at ranks
+        outside the current (possibly degraded) plan are ignored.
+        """
+        g = epoch + self.epoch_offset
+        return [
+            f for f in self.fault_plan.faults
+            if f.kind == kind and f.epoch == g and f.rank < self.n_workers
+        ]
+
+    def _inject_epoch_top(self, epoch: int) -> None:
+        """Kill / start-straggler injection, at process-plane semantics.
+
+        A killed rank never reaches the start barrier, so the failure
+        surfaces exactly as the process server sees it: a start-point
+        :class:`WorkerSyncError` before any compute ran, with the dead
+        ranks' exit codes (13 hard, 1 soft) recorded for the health
+        plane to classify.  A delay past the barrier timeout is a fatal
+        straggler (no exit code: the rank is alive, just late); a
+        shorter delay stretches the simulated clock by the longest
+        stall, since real stragglers hold the rendezvous in parallel.
+        """
+        kills = self._faults_at(KILL, epoch)
+        if kills:
+            for f in kills:
+                self._sim_exitcodes[f.rank] = 13 if f.hard else 1
+            ranks = tuple(sorted({f.rank for f in kills}))
+            raise WorkerSyncError("start", epoch, ranks, self.barrier_timeout_s)
+        delays = [f for f in self._faults_at(DELAY, epoch) if f.point == "start"]
+        late = tuple(sorted(
+            {f.rank for f in delays if f.seconds > self.barrier_timeout_s}
+        ))
+        if late:
+            raise WorkerSyncError("start", epoch, late, self.barrier_timeout_s)
+        if delays:
+            self.sim_seconds += max(f.seconds for f in delays)
+
+    def _restore_p(self) -> None:
+        """Roll P back to its pre-epoch state on a failed epoch.
+
+        The process plane only copies P out of shared memory after all
+        payloads validate, so a failed epoch's P updates are discarded
+        there; the sim trains P in place and must undo the same way.
+        """
+        if self._p_snapshot is not None:
+            np.copyto(self.model.P, self._p_snapshot)
+            self._p_snapshot = None
+
     # -- stages ----------------------------------------------------------
     def pull(self, epoch: int) -> Mapping:
+        if self.fault_plan:
+            self._inject_epoch_top(epoch)
         self.server.begin_epoch()
         self._q_locals = []
         for rt in self.runtimes:
@@ -216,13 +319,21 @@ class SimBackend:
             q_local = self.server.pull(worker=rt.worker_id)
             if self._timed:
                 self._timeline.add(
-                    f"worker-{rt.worker_id}", Phase.PULL, t0, self._now(), epoch
+                    f"worker-{rt.worker_id}", Phase.PULL, t0, self._now(),
+                    epoch + self.epoch_offset, self._attempt,
                 )
             self._q_locals.append(q_local)
         nbytes = self.server.pull_buffer.nbytes
         return {"wire_bytes": nbytes * self.n_workers, "per_worker_bytes": nbytes}
 
     def compute(self, epoch: int) -> Mapping:
+        if self.fault_plan:
+            fails_after_compute = self._faults_at(CORRUPT, epoch) or any(
+                f.point == "end" and f.seconds > self.barrier_timeout_s
+                for f in self._faults_at(DELAY, epoch)
+            )
+            if fails_after_compute:
+                self._p_snapshot = self.model.P.copy()  # hcclint: disable=hot-copy
         self._q_news = []
         for rt, q_local in zip(self.runtimes, self._q_locals):
             if self._timed:
@@ -230,32 +341,67 @@ class SimBackend:
             q_new, _ = rt.run_epoch(self.model.P, q_local, self.lr, self.reg)
             if self._timed:
                 self._timeline.add(
-                    f"worker-{rt.worker_id}", Phase.COMPUTE, t0, self._now(), epoch
+                    f"worker-{rt.worker_id}", Phase.COMPUTE, t0, self._now(),
+                    epoch + self.epoch_offset, self._attempt,
                 )
             self._q_news.append(q_new)
         return {"updates": tuple(rt.nnz for rt in self.runtimes)}
 
     def push(self, epoch: int) -> Mapping:
+        drop_ranks = {f.rank for f in self._faults_at(DROP, epoch)}
         for rt, q_new in zip(self.runtimes, self._q_news):
             if self._timed:
                 t0 = self._now()
-            self.server.push(rt.worker_id, q_new)
+            if rt.worker_id in drop_ranks:
+                # dropped payload: the wire carries the epoch base, so
+                # the server merges an exactly-zero delta.  run_epoch
+                # trained q_new *in place*, so pushing it would not be
+                # a drop — the base must come back from the server.
+                self.server.push(rt.worker_id, self.server.q_base)
+            else:
+                self.server.push(rt.worker_id, q_new)
             if self._timed:
                 self._timeline.add(
-                    f"worker-{rt.worker_id}", Phase.PUSH, t0, self._now(), epoch
+                    f"worker-{rt.worker_id}", Phase.PUSH, t0, self._now(),
+                    epoch + self.epoch_offset, self._attempt,
                 )
+        end_delays = [
+            f for f in self._faults_at(DELAY, epoch) if f.point == "end"
+        ]
+        late = tuple(sorted(
+            {f.rank for f in end_delays if f.seconds > self.barrier_timeout_s}
+        ))
+        if late:
+            self._restore_p()
+            raise WorkerSyncError("end", epoch, late, self.barrier_timeout_s)
+        if end_delays:
+            self.sim_seconds += max(f.seconds for f in end_delays)
         nbytes = self.server.push_buffers[0].nbytes
         return {"wire_bytes": nbytes * self.n_workers, "per_worker_bytes": nbytes}
 
     def sync(self, epoch: int) -> Mapping:
+        corrupt = self._faults_at(CORRUPT, epoch)
+        if corrupt:
+            # validation precedes any merge (the epoch is all-or-nothing
+            # on the process plane), so the model rolls back whole
+            self._restore_p()
+            raise WirePayloadError(min(f.rank for f in corrupt), epoch)
         for i, rt in enumerate(self.runtimes):
             weight = self._sync_policy.weight(i, self._fractions)
             if self._timed:
                 t0 = self._now()
             self.server.sync(rt.worker_id, weight)
             if self._timed:
-                self._timeline.add("server", Phase.SYNC, t0, self._now(), epoch)
+                self._timeline.add(
+                    "server", Phase.SYNC, t0, self._now(),
+                    epoch + self.epoch_offset, self._attempt,
+                )
         self.sim_seconds += self._epoch_sim_cost
+        self.cost_log.append((
+            epoch + self.epoch_offset,
+            self._epoch_sim_cost,
+            len(self._platform_workers) < self.platform.n_workers,
+        ))
         return {"merges": self.n_workers,
                 "merged_values": int(self.model.Q.size) * self.n_workers}
 
@@ -264,8 +410,44 @@ class SimBackend:
             t0 = self._now()
         rmse = self.model.rmse(self._eval_set)
         if self._timed:
-            self._timeline.add("server", Phase.EVAL, t0, self._now(), epoch)
+            self._timeline.add(
+                "server", Phase.EVAL, t0, self._now(),
+                epoch + self.epoch_offset, self._attempt,
+            )
         return rmse
+
+    # -- resilience ------------------------------------------------------
+    def health_report(self, err: Exception | None = None) -> HealthReport:
+        """Classify the sim workers exactly as the process plane would.
+
+        The same :func:`~repro.resilience.health.classify` call, fed
+        simulated exit codes instead of reaped process ones: a killed
+        rank carries 13 (hard) or 1 (soft), a straggler carries none —
+        so both planes hand :func:`~repro.resilience.policy.decide`
+        identical evidence.
+        """
+        missing = tuple(getattr(err, "missing_ranks", ()) or ())
+        exitcodes = [self._sim_exitcodes.get(r) for r in range(self.n_workers)]
+        return classify(
+            self.n_workers, missing, exitcodes, cause=str(err) if err else ""
+        )
+
+    def drop_faults_through(self, epoch: int) -> None:
+        """Retire injected faults at or before ``epoch`` (already fired)."""
+        self.fault_plan = self.fault_plan.without_epochs_through(epoch)
+
+    def remap_fault_ranks(self, dead_ranks) -> None:
+        """Follow a redistribution: prune the dead, renumber the faults.
+
+        The engine calls this with the *old* rank numbering, before it
+        shrinks ``n_workers`` to the survivor count; subsequent opens
+        build runtimes — and price epochs — over the survivors only.
+        """
+        dead = set(dead_ranks)
+        self._platform_workers = [
+            w for r, w in enumerate(self._platform_workers) if r not in dead
+        ]
+        self.fault_plan = self.fault_plan.remap_ranks(dead, self.n_workers)
 
     def finalize(self, telemetry) -> None:
         if telemetry is not None and self._timeline is not None:
@@ -513,6 +695,16 @@ class ProcessBackend:
         self.initial_model: MFModel | None = None
         self.epoch_offset = 0
         self._procs: list = []
+        self._rings: list = []
+        self._attempt = -1
+        #: one clock origin for the whole run, fixed at the first open,
+        #: so spans preserved across recovery attempts share a time base
+        self._run_origin: float | None = None
+        #: spans rescued from earlier attempts' rings before their
+        #: shared segments unlink (the rings die with each close)
+        self._kept_spans: list[Span] = []
+        self._kept_dropped = 0
+        self._finalized = False
 
     @staticmethod
     def _terminate_stragglers(procs: list, grace_s: float = _TERMINATE_GRACE_S) -> None:
@@ -573,7 +765,9 @@ class ProcessBackend:
         self._rings: list = []
         self._shard_nnz: list[int] = []
         self._server_spans: list[tuple[Phase, int, float, float]] = []
-        self._t_origin = time.perf_counter()
+        self._attempt += 1
+        if self._run_origin is None:
+            self._run_origin = time.perf_counter()
 
         # register each segment's unlink the moment it exists: if a later
         # create (or anything else) raises, the earlier segments are
@@ -602,7 +796,9 @@ class ProcessBackend:
 
                 for wid in range(self.n_workers):
                     ring = SpanRing.create(
-                        capacity=epochs * _SPANS_PER_EPOCH, worker=f"worker-{wid}"
+                        capacity=epochs * _SPANS_PER_EPOCH,
+                        worker=f"worker-{wid}",
+                        attempt=self._attempt,
                     )
                     self._stack.callback(ring.unlink)
                     self._rings.append(ring)
@@ -797,11 +993,21 @@ class ProcessBackend:
         """Retire injected faults at or before ``epoch`` (already fired).
 
         The engine calls this before a recovery restart so the fault
-        that broke the epoch does not fire again on the re-run — and so
-        rank-keyed faults never land on a *different* worker after a
-        redistribution renumbers the survivors.
+        that broke the epoch does not fire again on the re-run.
         """
         self.fault_plan = self.fault_plan.without_epochs_through(epoch)
+
+    def remap_fault_ranks(self, dead_ranks) -> None:
+        """Renumber pending faults after a redistribution compacts ranks.
+
+        Called by the engine with the *old* numbering, before it
+        shrinks ``n_workers``, so a fault aimed at a surviving worker
+        follows that worker to its new rank instead of landing on
+        whichever rank inherited the number.
+        """
+        self.fault_plan = self.fault_plan.remap_ranks(
+            set(dead_ranks), self.n_workers
+        )
 
     # -- teardown --------------------------------------------------------
     def finalize(self, telemetry) -> None:
@@ -812,22 +1018,60 @@ class ProcessBackend:
 
     def close(self) -> None:
         if self._stack is not None:
+            # failure path (finalize never ran): the attempt's spans
+            # would die with the rings' unlink, so reap the stragglers
+            # (ordering their last ring writes before our reads) and
+            # rescue the records first
+            if self._rings and not self._finalized:
+                self._terminate_stragglers(self._procs)
+                spans, dropped = self._drain_attempt_spans()
+                self._kept_spans.extend(spans)
+                self._kept_dropped += dropped
+                self._server_spans = []
             self._stack.close()
             self._stack = None
+
+    def _drain_attempt_spans(self) -> tuple[list[Span], int]:
+        """This attempt's ring + server spans on the *run's* axes.
+
+        Ring records carry attempt-local epochs and absolute clock
+        times; the run's Timeline speaks global epochs and run-origin
+        time, so spans from different attempts interleave correctly.
+        """
+        origin = self._run_origin or 0.0
+        spans: list[Span] = []
+        dropped = 0
+        for ring in self._rings:
+            for rec in ring.drain():
+                spans.append(Span(
+                    ring.worker, rec.phase, rec.start - origin,
+                    rec.end - origin, rec.epoch + self.epoch_offset,
+                    rec.attempt,
+                ))
+            dropped += ring.dropped
+        for phase, ep, s0, s1 in self._server_spans:
+            spans.append(Span(
+                "server", phase, s0 - origin, s1 - origin,
+                ep + self.epoch_offset, self._attempt,
+            ))
+        return spans, dropped
 
     def _finalize_telemetry(self, telemetry: "Telemetry") -> None:
         """Drain the span rings into the run's Timeline and registry.
 
         Runs after the workers joined and *before* the rings unlink
         (close()'s ExitStack teardown), so every record is final and
-        readable.
+        readable.  Spans rescued from earlier recovery attempts are
+        stitched in ahead of the final attempt's.
         """
         from repro.obs.drift import HostRunInfo
-        from repro.obs.spans import assemble_timeline
 
-        timeline, dropped = assemble_timeline(
-            self._rings, self._server_spans, origin=self._t_origin
-        )
+        spans, dropped = self._drain_attempt_spans()
+        timeline = Timeline()
+        timeline.extend(self._kept_spans)
+        timeline.extend(spans)
+        dropped += self._kept_dropped
+        self._finalized = True
         registry = telemetry.registry
         # wire-accurate per-epoch bytes: the actual shared-segment sizes,
         # so FP16 stacks report half the FP32 traffic

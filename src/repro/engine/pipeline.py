@@ -138,6 +138,9 @@ class EngineResult:
     sim_seconds: float = 0.0
     #: what the resilience plane did (None on a plain fail-fast run)
     resilience: ResilienceSummary | None = None
+    #: the plan the run *finished* on — differs from ``plan`` after a
+    #: redistribution; the chaos-parity harness compares its fractions
+    final_plan: PartitionPlan | None = None
 
     def stage_sequence(self) -> list[tuple[int, str]]:
         """The executed ``(epoch, stage)`` order — the parity signature."""
@@ -329,6 +332,7 @@ class EpochEngine:
             model=getattr(self.backend, "model", None),
             sim_seconds=float(getattr(self.backend, "sim_seconds", 0.0)),
             resilience=summary,
+            final_plan=current_plan,
         )
 
     # -- resilience internals -------------------------------------------
@@ -402,6 +406,7 @@ class EpochEngine:
             f"epoch {done}: {type(err).__name__} ({report.describe()}) "
             f"-> {action.value}"
         )
+        summary.decisions.append((done, type(err).__name__, action.value))
         if registry is not None:
             registry.event(
                 "resilience_failure", epoch=done, action=action.value,
@@ -419,9 +424,14 @@ class EpochEngine:
             if policy.checkpoint_on_abort and self.checkpoint_path is not None:
                 self._write_checkpoint(done, rmse_history, summary, registry)
                 path = str(self.checkpoint_path)
-            raise TrainingAborted(done, str(err), path) from err
+            raise TrainingAborted(done, str(err), path, summary) from err
         if action is RecoveryAction.REDISTRIBUTE:
             new_plan = redistribute(current_plan, report.dead_ranks)
+            # remap pending faults BEFORE the worker count shrinks:
+            # the remap needs the old numbering to locate survivors
+            remap = getattr(self.backend, "remap_fault_ranks", None)
+            if remap is not None:
+                remap(report.dead_ranks)
             self.backend.n_workers = new_plan.n_workers
             summary.redistributions += 1
             if registry is not None:

@@ -42,6 +42,9 @@ class Span:
     start: float
     end: float
     epoch: int = 0
+    #: which recovery attempt recorded the span (0 = the first open of
+    #: the run's backend; bumped on every re-open after a failure)
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if self.end < self.start:
@@ -58,8 +61,9 @@ class Timeline:
     def __init__(self) -> None:
         self._spans: list[Span] = []
 
-    def add(self, worker: str, phase: Phase, start: float, end: float, epoch: int = 0) -> Span:
-        span = Span(worker, phase, start, end, epoch)
+    def add(self, worker: str, phase: Phase, start: float, end: float,
+            epoch: int = 0, attempt: int = 0) -> Span:
+        span = Span(worker, phase, start, end, epoch, attempt)
         self._spans.append(span)
         return span
 

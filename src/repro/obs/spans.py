@@ -46,6 +46,9 @@ class SpanRecord:
     epoch: int
     start: float
     end: float
+    #: which recovery attempt the record belongs to (a per-ring
+    #: property: rings are created fresh for every backend open)
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -54,6 +57,7 @@ class SpanRingSpec:
 
     array: SharedArraySpec
     worker: str
+    attempt: int = 0
 
     @property
     def capacity(self) -> int:
@@ -63,20 +67,21 @@ class SpanRingSpec:
 class SpanRing:
     """Single-writer span buffer over a shared float64 array."""
 
-    def __init__(self, shm: SharedArray, worker: str):
+    def __init__(self, shm: SharedArray, worker: str, attempt: int = 0):
         self._shm = shm
         self.worker = worker
-        self.spec = SpanRingSpec(shm.spec, worker)
+        self.attempt = attempt
+        self.spec = SpanRingSpec(shm.spec, worker, attempt)
         self.capacity = self.spec.capacity
 
     # -- lifecycle -------------------------------------------------------
     @classmethod
-    def create(cls, capacity: int, worker: str) -> "SpanRing":
+    def create(cls, capacity: int, worker: str, attempt: int = 0) -> "SpanRing":
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         arr = SharedArray.create((_HEADER + capacity * _FIELDS,), "float64")
         try:
-            return cls(arr, worker)
+            return cls(arr, worker, attempt)
         except BaseException:  # pragma: no cover - ctor cannot really fail
             arr.unlink()
             raise
@@ -85,7 +90,7 @@ class SpanRing:
     def attach(cls, spec: SpanRingSpec) -> "SpanRing":
         arr = SharedArray.attach(spec.array)
         try:
-            return cls(arr, spec.worker)
+            return cls(arr, spec.worker, spec.attempt)
         except BaseException:  # pragma: no cover - ctor cannot really fail
             arr.close()
             raise
@@ -129,7 +134,12 @@ class SpanRing:
         return int(self._shm.array[1])
 
     def drain(self) -> list[SpanRecord]:
-        """All records written so far, in write order."""
+        """All records written so far, in write order.
+
+        The attempt tag is the ring's, not stored per record: one ring
+        serves exactly one backend open, so the wire format stays four
+        fields per span.
+        """
         buf = self._shm.array
         out: list[SpanRecord] = []
         for i in range(self.count):
@@ -140,6 +150,7 @@ class SpanRing:
                     epoch=int(buf[base + 1]),
                     start=float(buf[base + 2]),
                     end=float(buf[base + 3]),
+                    attempt=self.attempt,
                 )
             )
         return out
@@ -169,31 +180,43 @@ def records_to_timeline(
     worker: str,
     records: Iterable[SpanRecord],
     origin: float = 0.0,
+    epoch_offset: int = 0,
 ) -> int:
-    """Append drained records to a timeline, rebasing times to ``origin``."""
+    """Append drained records to a timeline, rebasing times to ``origin``.
+
+    ``epoch_offset`` rebases ring-local epochs onto the run's global
+    epoch numbering (recovery attempts count their epochs from zero).
+    """
     n = 0
     for rec in records:
-        timeline.add(worker, rec.phase, rec.start - origin, rec.end - origin, rec.epoch)
+        timeline.add(worker, rec.phase, rec.start - origin, rec.end - origin,
+                     rec.epoch + epoch_offset, rec.attempt)
         n += 1
     return n
 
 
 def assemble_timeline(
     rings: Sequence[SpanRing],
-    server_spans: Iterable[tuple[Phase, int, float, float]] = (),
+    server_spans: Iterable[tuple] = (),
     origin: float = 0.0,
     server_lane: str = "server",
+    epoch_offset: int = 0,
 ) -> tuple[Timeline, int]:
     """Build the run's Timeline from worker rings plus server-side spans.
 
     Returns ``(timeline, dropped)`` where ``dropped`` counts ring
-    records lost to capacity across all workers.
+    records lost to capacity across all workers.  Server span tuples
+    are ``(phase, epoch, start, end)`` with an optional trailing
+    attempt tag; worker spans carry their ring's attempt.
     """
     timeline = Timeline()
     dropped = 0
     for ring in rings:
-        records_to_timeline(timeline, ring.worker, ring.drain(), origin)
+        records_to_timeline(timeline, ring.worker, ring.drain(), origin,
+                            epoch_offset)
         dropped += ring.dropped
-    for phase, epoch, start, end in server_spans:
-        timeline.add(server_lane, phase, start - origin, end - origin, epoch)
+    for phase, epoch, start, end, *rest in server_spans:
+        attempt = int(rest[0]) if rest else 0
+        timeline.add(server_lane, phase, start - origin, end - origin,
+                     epoch + epoch_offset, attempt)
     return timeline, dropped

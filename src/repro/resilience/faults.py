@@ -131,6 +131,30 @@ class FaultPlan:
             self, faults=tuple(f for f in self.faults if f.epoch > epoch)
         )
 
+    def remap_ranks(
+        self, dead_ranks: "tuple[int, ...] | list[int] | set[int]", n_workers: int
+    ) -> "FaultPlan":
+        """Renumber pending faults after a redistribution removes ranks.
+
+        ``redistribute()`` compacts the survivors onto ranks
+        ``0..n-1``, so a fault scheduled for (old) rank ``r`` must
+        follow the worker it was aimed at to that worker's *new* rank.
+        Faults aimed at a dead rank are dropped — their target no
+        longer exists — as are faults on ranks outside the plan.
+        """
+        dead = set(dead_ranks)
+        new_rank: dict[int, int] = {}
+        for rank in range(n_workers):
+            if rank in dead:
+                continue
+            new_rank[rank] = len(new_rank)
+        kept = tuple(
+            replace(f, rank=new_rank[f.rank])
+            for f in self.faults
+            if f.rank in new_rank
+        )
+        return replace(self, faults=kept)
+
     def __len__(self) -> int:
         return len(self.faults)
 

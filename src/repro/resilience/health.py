@@ -9,6 +9,12 @@ a recovery action: the OS process state.  A missing rank whose process
 is *alive* is a straggler (retry can work); a process that exited — by
 crash, signal, or a clean exit before finishing its epochs — is dead
 (its shard must move to survivors or the run must abort).
+
+:func:`classify` is plane-independent: the process backend feeds it
+reaped ``Process.exitcode`` values, the sim backend feeds the exit
+codes its injected kills *would* have produced (13 hard, 1 soft, None
+alive) — so both planes hand the recovery policy identical evidence,
+which is what the chaos-parity harness (:mod:`repro.testing`) verifies.
 """
 
 from __future__ import annotations

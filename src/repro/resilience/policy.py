@@ -43,10 +43,14 @@ class TrainingAborted(RuntimeError):
         epoch: int,
         cause: str,
         checkpoint_path: "str | None" = None,
+        summary: "ResilienceSummary | None" = None,
     ):
         self.epoch = epoch
         self.cause = cause
         self.checkpoint_path = checkpoint_path
+        #: the run's summary up to the abort (decision sequence included),
+        #: so harnesses can compare aborted runs across planes
+        self.summary = summary
         saved = (
             f"; state through epoch {epoch} checkpointed to {checkpoint_path}"
             if checkpoint_path is not None
@@ -122,6 +126,11 @@ class ResilienceSummary:
     resumed_from_epoch: "int | None" = None
     #: human-readable record of each failure and the action taken
     failures: list[str] = field(default_factory=list)
+    #: structured record of each failure: (global epoch, error type
+    #: name, action value) — plane-independent, unlike ``failures``
+    #: whose prose carries process exit codes; the chaos-parity harness
+    #: diffs this sequence across the sim and process planes
+    decisions: list[tuple[int, str, str]] = field(default_factory=list)
     final_workers: "int | None" = None
 
     @property

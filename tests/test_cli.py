@@ -270,3 +270,24 @@ class TestObservabilityCli:
     def test_fault_smoke_needs_two_workers(self, capsys):
         assert main(["fault-smoke", "--workers", "1"]) == 2
         assert "at least 2 workers" in capsys.readouterr().err
+
+    def test_chaos_parity_parser_defaults(self):
+        args = build_parser().parse_args(["chaos-parity"])
+        assert args.seed == 0
+        assert args.process_scenarios == -1
+        assert args.sim_scenarios == 8
+        assert args.rmse_tol == pytest.approx(0.08)
+        assert args.drift_bound == pytest.approx(1.0)
+
+    def test_chaos_parity_small_gate_passes(self, capsys):
+        # one cross-plane scenario, the rest of the matrix sim-only,
+        # plus a small randomized sweep — the check.sh stage's shape
+        assert main([
+            "chaos-parity", "--seed", "0",
+            "--process-scenarios", "1", "--sim-scenarios", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario kill-soft" in out
+        assert "(sim only)" in out
+        assert "randomized sweep: 3/3 scenarios clean" in out
+        assert "chaos-parity: OK" in out

@@ -97,6 +97,55 @@ class TestEpochCost:
         fr = m.derive_partition(PartitionStrategy.DP1).fractions
         assert m.epoch_cost(fr).regime is Regime.SYNC_BOUND
 
+    def test_workers_override_prices_a_subset(self, model, fractions):
+        survivors = list(model.platform.workers[1:])
+        dead_fraction = fractions[0]
+        scaled = [f / (1 - dead_fraction) for f in fractions[1:]]
+        cost = model.epoch_cost(scaled, workers=survivors)
+        assert len(cost.workers) == len(survivors)
+        assert [wc.name for wc in cost.workers] == [w.name for w in survivors]
+
+    def test_workers_override_length_checked(self, model, fractions):
+        with pytest.raises(ValueError):
+            model.epoch_cost(fractions, workers=list(model.platform.workers[:2]))
+
+
+class TestDegradedEpochCost:
+    def test_survivors_get_renormalized_fractions(self, model, fractions):
+        cost = model.degraded_epoch_cost(fractions, dead_ranks={0})
+        assert len(cost.workers) == model.platform.n_workers - 1
+        # each survivor's share grew by 1/(1 - x_dead), so the slowest
+        # survivor must not get cheaper than its healthy-epoch self
+        healthy = model.epoch_cost(fractions)
+        by_name = {wc.name: wc for wc in healthy.workers}
+        for wc in cost.workers:
+            assert wc.compute >= by_name[wc.name].compute
+
+    def test_monotone_in_compute_bound_regime(self, model, fractions):
+        """Killing a worker never makes a compute-bound epoch cheaper:
+        the survivors shoulder strictly more work at the same rates.
+        (Sync-bound cases can legitimately get cheaper — fewer merges.)"""
+        healthy = model.epoch_cost(fractions)
+        assert healthy.regime is Regime.COMPUTE_BOUND
+        for dead in range(model.platform.n_workers):
+            degraded = model.degraded_epoch_cost(fractions, dead_ranks={dead})
+            assert degraded.total >= healthy.total - 1e-12
+
+    def test_more_deaths_cost_at_least_as_much(self, model, fractions):
+        one = model.degraded_epoch_cost(fractions, dead_ranks={0})
+        two = model.degraded_epoch_cost(fractions, dead_ranks={0, 1})
+        assert two.total >= one.total - 1e-12
+
+    def test_fraction_length_checked(self, model):
+        with pytest.raises(ValueError):
+            model.degraded_epoch_cost([0.5, 0.5], dead_ranks={0})
+
+    def test_all_dead_rejected(self, model, fractions):
+        with pytest.raises(ValueError):
+            model.degraded_epoch_cost(
+                fractions, dead_ranks=set(range(model.platform.n_workers))
+            )
+
 
 class TestCommComputeRatio:
     def test_movielens_flagged(self):

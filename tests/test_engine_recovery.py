@@ -332,3 +332,33 @@ class TestResilienceTelemetry:
         kinds = [e["event"] for e in telemetry.registry.events]
         assert "resilience_failure" in kinds
         assert "resilience_redistribution" in kinds
+
+    def test_timeline_preserves_all_attempts(self, data):
+        """Spans from the failed attempt survive the backend re-open:
+        the assembled timeline carries both attempt 0 (up to the kill)
+        and attempt 1 (the post-redistribution rerun), tagged apart."""
+        from repro.hardware.timeline import Phase
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        SharedMemoryTrainer(
+            data, k=8, n_workers=3, lr=0.01, seed=0, barrier_timeout_s=5.0,
+            telemetry=telemetry,
+            fault_plan=FaultPlan().kill(2, epoch=1),
+            recovery=RecoveryPolicy(min_workers=2, **FAST_RETRY),
+        ).train(epochs=3)
+
+        spans = telemetry.timeline.spans
+        attempts = {s.attempt for s in spans}
+        assert {0, 1} <= attempts
+        # the failed attempt still shows epoch-0 work from every rank
+        attempt0_workers = {
+            s.worker for s in spans
+            if s.attempt == 0 and s.epoch == 0 and s.phase is Phase.COMPUTE
+        }
+        assert len(attempt0_workers) == 3
+        # the rerun covers the originally-failed epoch on the survivors
+        attempt1_epochs = {s.epoch for s in spans if s.attempt == 1}
+        assert 1 in attempt1_epochs
+        # timestamps share one origin: no retry span predates the run
+        assert min(s.start for s in spans) >= 0.0

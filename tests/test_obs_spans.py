@@ -125,3 +125,67 @@ class TestAssembleTimeline:
         tl = Timeline()
         n = records_to_timeline(tl, "worker-0", ring.drain())
         assert n == 1 and len(tl) == 1
+
+    def test_records_to_timeline_epoch_offset(self, ring):
+        from repro.hardware.timeline import Timeline
+
+        ring.record(Phase.PULL, 1, 0.0, 1.0)
+        tl = Timeline()
+        records_to_timeline(tl, "worker-0", ring.drain(), epoch_offset=3)
+        assert tl.spans[0].epoch == 4
+
+
+class TestAttemptTagging:
+    """A ring created for recovery attempt N tags everything it drains."""
+
+    def test_ring_carries_attempt_through_drain(self):
+        ring = SpanRing.create(capacity=4, worker="w0", attempt=2)
+        try:
+            ring.record(Phase.PULL, 0, 0.0, 1.0)
+            record = ring.drain()[0]
+            assert record.attempt == 2
+        finally:
+            ring.unlink()
+
+    def test_attach_inherits_attempt_from_spec(self):
+        ring = SpanRing.create(capacity=4, worker="w0", attempt=1)
+        try:
+            ring.record(Phase.PUSH, 0, 0.0, 0.5)
+            peer = SpanRing.attach(ring.spec)
+            try:
+                assert peer.attempt == 1
+                assert peer.drain()[0].attempt == 1
+            finally:
+                peer.close()
+        finally:
+            ring.unlink()
+
+    def test_default_attempt_is_zero(self, ring):
+        ring.record(Phase.PULL, 0, 0.0, 1.0)
+        assert ring.attempt == 0
+        assert ring.drain()[0].attempt == 0
+
+    def test_timeline_spans_carry_attempt(self):
+        ring = SpanRing.create(capacity=4, worker="w0", attempt=3)
+        try:
+            ring.record(Phase.COMPUTE, 1, 0.0, 1.0)
+            timeline, _ = assemble_timeline([ring])
+            assert timeline.spans[0].attempt == 3
+        finally:
+            ring.unlink()
+
+    def test_multi_attempt_rings_assemble_together(self):
+        """Rings from two recovery attempts coexist in one timeline —
+        the preserved-spans guarantee the process backend relies on."""
+        first = SpanRing.create(capacity=4, worker="w0", attempt=0)
+        second = SpanRing.create(capacity=4, worker="w0", attempt=1)
+        try:
+            first.record(Phase.COMPUTE, 1, 0.0, 1.0)   # failed attempt
+            second.record(Phase.COMPUTE, 1, 2.0, 3.0)  # the retry
+            timeline, _ = assemble_timeline([first, second])
+            attempts = sorted(s.attempt for s in timeline.spans)
+            assert attempts == [0, 1]
+            assert all(s.epoch == 1 for s in timeline.spans)
+        finally:
+            first.unlink()
+            second.unlink()

@@ -33,7 +33,7 @@ class TestPublicAPI:
         for mod in (
             "repro.core", "repro.mf", "repro.data",
             "repro.hardware", "repro.parallel", "repro.experiments",
-            "repro.analysis", "repro.resilience",
+            "repro.analysis", "repro.resilience", "repro.testing",
         ):
             importlib.import_module(mod)
 

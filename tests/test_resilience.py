@@ -55,6 +55,34 @@ class TestFaultPlan:
         assert [f.epoch for f in survived.faults] == [3]
         assert len(plan.without_epochs_through(3)) == 0
 
+    def test_remap_ranks_follows_survivors(self):
+        plan = FaultPlan().kill(3, epoch=2).drop_payload(0, epoch=3)
+        remapped = plan.remap_ranks({1}, n_workers=4)
+        # survivors 0,2,3 compact to 0,1,2: rank 3 -> 2, rank 0 -> 0
+        assert [(f.rank, f.epoch) for f in remapped.faults] == [(2, 2), (0, 3)]
+
+    def test_remap_ranks_drops_dead_targets(self):
+        plan = FaultPlan().kill(1, epoch=2).corrupt_payload(2, epoch=3)
+        remapped = plan.remap_ranks({1}, n_workers=3)
+        assert [(f.rank, f.kind) for f in remapped.faults] == [(1, CORRUPT)]
+
+    def test_remap_ranks_drops_out_of_plan_targets(self):
+        plan = FaultPlan().kill(5, epoch=2)
+        assert len(plan.remap_ranks({0}, n_workers=3)) == 0
+
+    def test_remap_ranks_two_deaths_sequence(self):
+        # a 4-worker plan losing rank 1, then (old) rank 3: the pending
+        # kill aimed at old rank 3 must land on new rank 2 after the
+        # first remap, and the drop aimed at old rank 2 must follow its
+        # worker to rank 1 through both renumberings
+        plan = FaultPlan().kill(1, epoch=1).kill(3, epoch=2).drop_payload(2, epoch=3)
+        after_first = plan.without_epochs_through(1).remap_ranks({1}, n_workers=4)
+        assert [(f.rank, f.epoch) for f in after_first.faults] == [(2, 2), (1, 3)]
+        after_second = after_first.without_epochs_through(2).remap_ranks(
+            {2}, n_workers=3
+        )
+        assert [(f.rank, f.epoch) for f in after_second.faults] == [(1, 3)]
+
     def test_fault_at_lookup(self):
         faults = FaultPlan().kill(0, epoch=2).for_rank(0)
         assert fault_at(faults, KILL, 2) is not None
