@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Pre-PR gate: hcclint + ruff + mypy + tier-1 pytest.
+# Pre-PR gate: hcclint (+ flow rules) + dynamic checks + ruff + mypy + pytest.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast  skip the pytest stage (lint/type gates only)
@@ -8,6 +8,14 @@
 # they are not installed the stage is reported as SKIPPED rather than
 # failing, so the gate still runs on minimal containers.  hcclint and
 # pytest have no extra dependencies and always run.
+#
+# Stages are classified as "lint" (static analysis, style, types) or
+# "test" (dynamic checks and the tier-1 suite), and the exit code says
+# which side broke:
+#   0  everything passed
+#   2  lint-stage failure(s) only
+#   3  test-stage failure(s) only
+#   4  both lint- and test-stage failures
 
 set -u
 cd "$(dirname "$0")/.."
@@ -22,34 +30,64 @@ for arg in "$@"; do
     esac
 done
 
-failures=0
+lint_failures=0
+test_failures=0
+stage_names=()
+stage_kinds=()
+stage_results=()
+stage_times=()
 
-stage() {  # stage <name> <command...>
-    local name="$1"; shift
+record() {  # record <name> <kind> <result> <seconds>
+    stage_names+=("$1")
+    stage_kinds+=("$2")
+    stage_results+=("$3")
+    stage_times+=("$4")
+}
+
+stage() {  # stage <lint|test> <name> <command...>
+    local kind="$1" name="$2"; shift 2
     echo "== $name =="
-    if "$@"; then
+    local start end rc
+    start=$SECONDS
+    "$@"
+    rc=$?
+    end=$SECONDS
+    if [ "$rc" -eq 0 ]; then
         echo "-- $name: OK"
+        record "$name" "$kind" "OK" "$((end - start))"
     else
-        echo "-- $name: FAILED"
-        failures=$((failures + 1))
+        echo "-- $name: FAILED (exit $rc)"
+        record "$name" "$kind" "FAILED" "$((end - start))"
+        if [ "$kind" = "lint" ]; then
+            lint_failures=$((lint_failures + 1))
+        else
+            test_failures=$((test_failures + 1))
+        fi
     fi
     echo
 }
 
-skipped() {
-    echo "== $1 =="
-    echo "-- $1: SKIPPED ($2)"
+skipped() {  # skipped <lint|test> <name> <reason>
+    echo "== $2 =="
+    echo "-- $2: SKIPPED ($3)"
     echo
+    record "$2" "$1" "SKIPPED" 0
 }
 
-# 1. hcclint: the domain rules (docs/static_analysis.md)
-stage "hcclint" python -m repro lint src
+# 1. hcclint: the AST domain rules (docs/static_analysis.md)
+stage lint "hcclint" python -m repro lint \
+    --baseline .hcclint-baseline.json src
 
 # 1b. hcclint over the telemetry plane alone (timing rules, HCC110)
-stage "hcclint-obs" python -m repro lint src/repro/obs
+stage lint "hcclint-obs" python -m repro lint src/repro/obs
+
+# 1c. flow-lint: the flow-sensitive HCC2xx rules (CFG + dataflow over
+# resource lifecycle, exception safety, dtype taint, stage protocol)
+stage lint "flow-lint" python -m repro lint \
+    --flow --select HCC2 --baseline .hcclint-baseline.json src
 
 # 2. race-check: dynamic P-row ownership + one-copy discipline proof
-stage "race-check" python -m repro race-check --inject-overlap
+stage test "race-check" python -m repro race-check --inject-overlap
 
 # 2b. instrumented-run smoke: a tiny real training must produce a
 # loadable Chrome trace (the telemetry plane's end-to-end guarantee)
@@ -66,52 +104,70 @@ obs_smoke() {
     rm -rf "$tmpdir"
     return "$rc"
 }
-stage "obs-smoke" obs_smoke
+stage test "obs-smoke" obs_smoke
 
 # 2c. engine-parity: the sim and process planes must execute the same
 # stage sequence with the same per-epoch update counts (docs/engine.md)
-stage "engine-parity" python -m repro engine-parity \
+stage test "engine-parity" python -m repro engine-parity \
     --nnz 4000 --epochs 2 --k 8 --workers 2
 
 # 2d. fault-smoke: kill a worker mid-run; recovery must redistribute its
 # shard and converge within tolerance of the fault-free baseline
 # (docs/resilience.md)
-stage "fault-smoke" python -m repro fault-smoke \
+stage test "fault-smoke" python -m repro fault-smoke \
     --nnz 4000 --epochs 4 --k 8 --workers 3 --barrier-timeout 5
 
 # 2e. chaos-parity: a small seeded fault matrix through both planes —
 # one scenario cross-plane, the rest sim-only invariants — plus a
 # randomized sim-only sweep (docs/resilience.md)
-stage "chaos-parity" python -m repro chaos-parity \
+stage test "chaos-parity" python -m repro chaos-parity \
     --seed 0 --process-scenarios 1 --sim-scenarios 8
 
 # 3. ruff (style/pyflakes), if installed
 if command -v ruff >/dev/null 2>&1; then
-    stage "ruff" ruff check src tests
+    stage lint "ruff" ruff check src tests
 elif python -c "import ruff" >/dev/null 2>&1; then
-    stage "ruff" python -m ruff check src tests
+    stage lint "ruff" python -m ruff check src tests
 else
-    skipped "ruff" "not installed; pip install -e '.[dev]'"
+    skipped lint "ruff" "not installed; pip install -e '.[dev]'"
 fi
 
 # 4. mypy (types), if installed
 if command -v mypy >/dev/null 2>&1; then
-    stage "mypy" mypy
+    stage lint "mypy" mypy
 elif python -c "import mypy" >/dev/null 2>&1; then
-    stage "mypy" python -m mypy
+    stage lint "mypy" python -m mypy
 else
-    skipped "mypy" "not installed; pip install -e '.[dev]'"
+    skipped lint "mypy" "not installed; pip install -e '.[dev]'"
 fi
 
 # 5. tier-1 tests
 if [ "$fast" -eq 1 ]; then
-    skipped "pytest" "--fast"
+    skipped test "pytest" "--fast"
 else
-    stage "pytest" python -m pytest -x -q
+    stage test "pytest" python -m pytest -x -q
 fi
 
-if [ "$failures" -gt 0 ]; then
-    echo "check.sh: $failures stage(s) FAILED"
-    exit 1
+# ---------------------------------------------------------------------------
+# per-stage summary table
+echo "== summary =="
+printf '%-14s %-5s %-7s %s\n' "stage" "kind" "result" "time"
+printf '%-14s %-5s %-7s %s\n' "-----" "----" "------" "----"
+for i in "${!stage_names[@]}"; do
+    printf '%-14s %-5s %-7s %ss\n' \
+        "${stage_names[$i]}" "${stage_kinds[$i]}" \
+        "${stage_results[$i]}" "${stage_times[$i]}"
+done
+echo
+
+if [ "$lint_failures" -gt 0 ] && [ "$test_failures" -gt 0 ]; then
+    echo "check.sh: $lint_failures lint stage(s) and $test_failures test stage(s) FAILED"
+    exit 4
+elif [ "$test_failures" -gt 0 ]; then
+    echo "check.sh: $test_failures test stage(s) FAILED"
+    exit 3
+elif [ "$lint_failures" -gt 0 ]; then
+    echo "check.sh: $lint_failures lint stage(s) FAILED"
+    exit 2
 fi
 echo "check.sh: all stages passed"

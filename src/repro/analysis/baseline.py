@@ -1,0 +1,115 @@
+"""Baseline files: land new lint rules without silencing the gate.
+
+A baseline records *known, justified* findings so that ``repro lint``
+can fail only on regressions.  Matching is deliberately line-number
+agnostic — an entry is ``(path, rule_id, message)`` plus an allowed
+count — so unrelated edits that shift code do not invalidate the
+baseline, while a *new* finding of the same shape in the same file
+still fails once the recorded count is exceeded.
+
+The repo checks in ``.hcclint-baseline.json`` at the root; it ships
+empty because ``src/`` is clean under every rule, and exists so the
+first justified exception has somewhere auditable to live (each entry
+carries a ``justification`` string).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.lint import LintIssue
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be used (bad JSON, wrong version)."""
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Allowed finding counts keyed by (path, rule_id, message)."""
+
+    entries: dict[tuple[str, str, str], int]
+    justifications: dict[tuple[str, str, str], str]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries={}, justifications={})
+
+    # -- (de)serialisation --------------------------------------------
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline must be an object with version={BASELINE_VERSION}"
+            )
+        entries: dict[tuple[str, str, str], int] = {}
+        justifications: dict[tuple[str, str, str], str] = {}
+        for item in payload.get("entries", []):
+            try:
+                key = (item["path"], item["rule_id"], item["message"])
+                count = int(item.get("count", 1))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(f"malformed baseline entry: {item!r}") from exc
+            entries[key] = entries.get(key, 0) + count
+            if item.get("justification"):
+                justifications[key] = str(item["justification"])
+        return cls(entries=entries, justifications=justifications)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def to_json(self) -> str:
+        items = [
+            {
+                "path": path,
+                "rule_id": rule_id,
+                "message": message,
+                "count": count,
+                "justification": self.justifications.get(
+                    (path, rule_id, message),
+                    "recorded pre-existing finding; justify or fix",
+                ),
+            }
+            for (path, rule_id, message), count in sorted(self.entries.items())
+        ]
+        return json.dumps({"version": BASELINE_VERSION, "entries": items}, indent=2)
+
+    # -- building / applying ------------------------------------------
+    @classmethod
+    def from_issues(cls, issues: Sequence[LintIssue]) -> "Baseline":
+        counts = Counter((i.path, i.rule_id, i.message) for i in issues)
+        return cls(entries=dict(counts), justifications={})
+
+    def apply(
+        self, issues: Sequence[LintIssue]
+    ) -> tuple[list[LintIssue], list[LintIssue]]:
+        """Split issues into (new, baselined).
+
+        Findings are consumed against the recorded counts in input
+        order; once a key's budget is spent, further findings of that
+        shape are *new* and should fail the gate.
+        """
+        budget = Counter()
+        for key, count in self.entries.items():
+            budget[key] = count
+        new: list[LintIssue] = []
+        baselined: list[LintIssue] = []
+        for issue in issues:
+            key = (issue.path, issue.rule_id, issue.message)
+            if budget[key] > 0:
+                budget[key] -= 1
+                baselined.append(issue)
+            else:
+                new.append(issue)
+        return new, baselined

@@ -1,0 +1,528 @@
+"""Control-flow graphs over Python function ASTs.
+
+The flow-sensitive HCC2xx checkers (:mod:`repro.analysis.flow`) need to
+reason about *paths* — "is this shared segment closed on the exception
+path too?" — which per-node AST pattern rules cannot see.  This module
+builds a small, deliberately simple CFG for one function at a time:
+
+* one statement "atom" per basic block (plus empty junction blocks), so
+  transfer functions stay trivial;
+* four edge kinds — ``normal``, ``true``/``false`` branch edges, and
+  ``exc`` edges from any statement that may raise to the innermost
+  handler (or the synthetic ``raise_exit`` block when the exception
+  escapes the function);
+* ``finally`` bodies are instantiated once per *continuation* (fall
+  through, exception propagation, ``return``, ``break``, ``continue``),
+  mirroring how CPython threads control through them, so a dataflow
+  analysis sees cleanup run on every kind of exit;
+* three synthetic blocks: ``entry``, ``exit`` (normal return / fall off
+  the end) and ``raise_exit`` (an exception escaping the function).
+
+Compound statements contribute their *header* as the atom (an ``If``
+block holds the whole ``ast.If`` node but only evaluates its test; the
+bodies live in successor blocks).  Nested function/class definitions
+are opaque atoms — callers analyse them separately.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EDGE_NORMAL",
+    "EDGE_TRUE",
+    "EDGE_FALSE",
+    "EDGE_EXC",
+    "Block",
+    "CFG",
+    "build_cfg",
+    "may_raise",
+    "stmt_atoms",
+]
+
+EDGE_NORMAL = "normal"
+EDGE_TRUE = "true"
+EDGE_FALSE = "false"
+EDGE_EXC = "exc"
+
+#: method tails treated as non-raising cleanup: flagging "close() itself
+#: might raise inside finally" would make every correct teardown a
+#: false positive, so the CFG assumes cleanup calls complete.
+_CLEANUP_TAILS = frozenset(
+    {"close", "unlink", "shutdown", "terminate", "release", "join"}
+)
+
+
+@dataclass
+class Block:
+    """One basic block: at most one statement atom plus typed out-edges."""
+
+    idx: int
+    label: str = ""
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list[tuple["Block", str]] = field(default_factory=list)
+    preds: list[tuple["Block", str]] = field(default_factory=list)
+
+    @property
+    def stmt(self) -> ast.stmt | None:
+        return self.stmts[0] if self.stmts else None
+
+    def __hash__(self) -> int:  # identity semantics; dataclass adds __eq__ otherwise
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self.stmt).__name__ if self.stmt is not None else "-"
+        return f"<Block {self.idx} {self.label or kind}>"
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    blocks: list[Block]
+    entry: Block
+    exit: Block
+    raise_exit: Block
+
+    def rpo(self) -> list[Block]:
+        """Blocks in reverse post-order from ``entry`` (forward analyses)."""
+        seen: set[int] = set()
+        order: list[Block] = []
+
+        def visit(block: Block) -> None:
+            # iterative DFS; deep CFGs would blow the recursion limit
+            stack: list[tuple[Block, int]] = [(block, 0)]
+            seen.add(id(block))
+            while stack:
+                node, i = stack[-1]
+                if i < len(node.succs):
+                    stack[-1] = (node, i + 1)
+                    succ = node.succs[i][0]
+                    if id(succ) not in seen:
+                        seen.add(id(succ))
+                        stack.append((succ, 0))
+                else:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+
+def _call_tail(call: ast.Call) -> str:
+    fn = call.func
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    if isinstance(fn, ast.Name):
+        return fn.id
+    return ""
+
+
+def _is_simple_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Constant, ast.Name)):
+        return True
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(_is_simple_value(elt) for elt in node.elts)
+    if isinstance(node, ast.UnaryOp):
+        return _is_simple_value(node.operand)
+    return False
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Can executing this atom raise? Conservative, with a few carve-outs.
+
+    Anything involving a call, attribute access, subscript, or arithmetic
+    may raise.  The carve-outs keep the graphs (and downstream checkers)
+    sane: ``pass``/``break``/``continue``, constant-to-name assignments,
+    and bare cleanup calls (``x.close()`` and friends) are treated as
+    non-raising — the latter so a ``finally`` that only closes resources
+    does not itself spawn a "leaked on exception" path.
+    """
+    if isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)):
+        return False
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    if isinstance(stmt, ast.Assign):
+        if all(isinstance(t, ast.Name) for t in stmt.targets) and _is_simple_value(
+            stmt.value
+        ):
+            return False
+        return True
+    if isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name) and (
+            stmt.value is None or _is_simple_value(stmt.value)
+        ):
+            return False
+        return True
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+        if _is_simple_value(value):
+            return False
+        if (
+            isinstance(value, ast.Call)
+            and _call_tail(value) in _CLEANUP_TAILS
+            and not value.args
+            and not value.keywords
+        ):
+            return False
+        return True
+    if isinstance(stmt, ast.Return):
+        return stmt.value is not None and not _is_simple_value(stmt.value)
+    return True
+
+
+def stmt_atoms(node: ast.stmt):
+    """Yield sub-expressions of a statement atom, skipping nested scopes.
+
+    Like :func:`ast.walk` over the statement but without descending into
+    nested function/class definitions (their bodies get their own CFGs)
+    or into the *bodies* of compound statements (those live in successor
+    blocks) — only the header expressions of the atom itself are walked.
+    """
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    headers: list[ast.AST]
+    if isinstance(node, ast.If) or isinstance(node, ast.While):
+        headers = [node.test]
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        headers = [node.target, node.iter]
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        headers = list(node.items)
+    elif isinstance(node, (ast.Try, ast.Match)):
+        headers = []
+        if isinstance(node, ast.Match):
+            headers = [node.subject]
+    else:
+        headers = [node]
+    stack: list[ast.AST] = list(headers)
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        yield current
+        if current is node and isinstance(current, ast.stmt):
+            # plain statement: walk its child expressions
+            stack.extend(ast.iter_child_nodes(current))
+        elif not isinstance(current, ast.stmt):
+            stack.extend(ast.iter_child_nodes(current))
+
+
+_CATCH_ALL_NAMES = {"BaseException", "Exception"}
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    """True when *handler* catches every exception (``except:`` or
+    ``except BaseException``/``Exception``, possibly inside a tuple)."""
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for t in types:
+        if isinstance(t, ast.Name) and t.id in _CATCH_ALL_NAMES:
+            return True
+    return False
+
+
+class _Ctx:
+    """Where abrupt exits go from the current nesting level.
+
+    ``try/finally`` frames wrap each target with a lazily-instantiated
+    copy of the ``finally`` body (memoised per continuation), so a
+    ``return`` three levels deep threads through every pending cleanup.
+    """
+
+    __slots__ = ("exc", "ret", "brk", "cont")
+
+    def __init__(self, exc, ret, brk=None, cont=None):
+        self.exc = exc  # () -> Block
+        self.ret = ret
+        self.brk = brk  # None outside loops
+        self.cont = cont
+
+    def with_loop(self, brk, cont) -> "_Ctx":
+        return _Ctx(self.exc, self.ret, brk, cont)
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+        self.raise_exit = self.new_block("raise-exit")
+
+    # ------------------------------------------------------------------
+    def new_block(self, label: str = "") -> Block:
+        block = Block(idx=len(self.blocks), label=label)
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: Block, dst: Block, kind: str = EDGE_NORMAL) -> None:
+        src.succs.append((dst, kind))
+        dst.preds.append((src, kind))
+
+    # ------------------------------------------------------------------
+    def build(self) -> CFG:
+        ctx = _Ctx(exc=lambda: self.raise_exit, ret=lambda: self.exit)
+        end = self.emit_body(self.func.body, self.entry, ctx)
+        if end is not None:
+            self.edge(end, self.exit)
+        return CFG(
+            func=self.func,
+            blocks=self.blocks,
+            entry=self.entry,
+            exit=self.exit,
+            raise_exit=self.raise_exit,
+        )
+
+    def emit_body(self, body: list[ast.stmt], cur: Block | None, ctx: _Ctx):
+        """Emit statements sequentially; returns the fall-through block or None."""
+        for stmt in body:
+            if cur is None:  # unreachable code after return/raise/break
+                break
+            cur = self.emit_stmt(stmt, cur, ctx)
+        return cur
+
+    # ------------------------------------------------------------------
+    def emit_stmt(self, stmt: ast.stmt, cur: Block, ctx: _Ctx):
+        handler = getattr(self, f"emit_{type(stmt).__name__}", None)
+        if handler is not None:
+            return handler(stmt, cur, ctx)
+        return self.emit_atom(stmt, cur, ctx)
+
+    def emit_atom(self, stmt: ast.stmt, cur: Block, ctx: _Ctx) -> Block:
+        block = self.new_block()
+        block.stmts.append(stmt)
+        self.edge(cur, block)
+        if may_raise(stmt):
+            self.edge(block, ctx.exc(), EDGE_EXC)
+        after = self.new_block()
+        self.edge(block, after)
+        return after
+
+    # -- straight-line control ----------------------------------------
+    def emit_Return(self, stmt: ast.Return, cur: Block, ctx: _Ctx):
+        block = self.new_block("return")
+        block.stmts.append(stmt)
+        self.edge(cur, block)
+        if may_raise(stmt):
+            self.edge(block, ctx.exc(), EDGE_EXC)
+        self.edge(block, ctx.ret())
+        return None
+
+    def emit_Raise(self, stmt: ast.Raise, cur: Block, ctx: _Ctx):
+        block = self.new_block("raise")
+        block.stmts.append(stmt)
+        self.edge(cur, block)
+        self.edge(block, ctx.exc(), EDGE_EXC)
+        return None
+
+    def emit_Break(self, stmt: ast.Break, cur: Block, ctx: _Ctx):
+        block = self.new_block("break")
+        block.stmts.append(stmt)
+        self.edge(cur, block)
+        if ctx.brk is not None:
+            self.edge(block, ctx.brk())
+        return None
+
+    def emit_Continue(self, stmt: ast.Continue, cur: Block, ctx: _Ctx):
+        block = self.new_block("continue")
+        block.stmts.append(stmt)
+        self.edge(cur, block)
+        if ctx.cont is not None:
+            self.edge(block, ctx.cont())
+        return None
+
+    # -- branches ------------------------------------------------------
+    def emit_If(self, stmt: ast.If, cur: Block, ctx: _Ctx):
+        test = self.new_block("if")
+        test.stmts.append(stmt)
+        self.edge(cur, test)
+        self.edge(test, ctx.exc(), EDGE_EXC)  # test expression may raise
+        after = self.new_block()
+
+        then_entry = self.new_block()
+        self.edge(test, then_entry, EDGE_TRUE)
+        then_end = self.emit_body(stmt.body, then_entry, ctx)
+        if then_end is not None:
+            self.edge(then_end, after)
+
+        else_entry = self.new_block()
+        self.edge(test, else_entry, EDGE_FALSE)
+        else_end = self.emit_body(stmt.orelse, else_entry, ctx)
+        if else_end is not None:
+            self.edge(else_end, after)
+
+        if not after.preds:
+            return None
+        return after
+
+    def emit_While(self, stmt: ast.While, cur: Block, ctx: _Ctx):
+        head = self.new_block("while")
+        head.stmts.append(stmt)
+        self.edge(cur, head)
+        self.edge(head, ctx.exc(), EDGE_EXC)
+        after = self.new_block()
+
+        body_entry = self.new_block()
+        self.edge(head, body_entry, EDGE_TRUE)
+        loop_ctx = ctx.with_loop(brk=lambda: after, cont=lambda: head)
+        body_end = self.emit_body(stmt.body, body_entry, loop_ctx)
+        if body_end is not None:
+            self.edge(body_end, head)
+
+        exit_entry = self.new_block()
+        self.edge(head, exit_entry, EDGE_FALSE)
+        else_end = self.emit_body(stmt.orelse, exit_entry, ctx)
+        if else_end is not None:
+            self.edge(else_end, after)
+
+        if not after.preds:
+            return None
+        return after
+
+    def emit_For(self, stmt: ast.For, cur: Block, ctx: _Ctx):
+        head = self.new_block("for")
+        head.stmts.append(stmt)
+        self.edge(cur, head)
+        self.edge(head, ctx.exc(), EDGE_EXC)  # iterator setup/next may raise
+        after = self.new_block()
+
+        body_entry = self.new_block()
+        self.edge(head, body_entry, EDGE_TRUE)
+        loop_ctx = ctx.with_loop(brk=lambda: after, cont=lambda: head)
+        body_end = self.emit_body(stmt.body, body_entry, loop_ctx)
+        if body_end is not None:
+            self.edge(body_end, head)
+
+        exit_entry = self.new_block()
+        self.edge(head, exit_entry, EDGE_FALSE)
+        else_end = self.emit_body(stmt.orelse, exit_entry, ctx)
+        if else_end is not None:
+            self.edge(else_end, after)
+
+        if not after.preds:
+            return None
+        return after
+
+    emit_AsyncFor = emit_For
+
+    def emit_With(self, stmt: ast.With, cur: Block, ctx: _Ctx):
+        head = self.new_block("with")
+        head.stmts.append(stmt)
+        self.edge(cur, head)
+        self.edge(head, ctx.exc(), EDGE_EXC)  # __enter__ may raise
+        body_entry = self.new_block()
+        self.edge(head, body_entry)
+        # Approximation: __exit__ runs but we do not model suppression,
+        # so body exceptions propagate to the enclosing handler as usual.
+        end = self.emit_body(stmt.body, body_entry, ctx)
+        if end is None:
+            return None
+        after = self.new_block()
+        self.edge(end, after)
+        return after
+
+    emit_AsyncWith = emit_With
+
+    def emit_Match(self, stmt: ast.Match, cur: Block, ctx: _Ctx):
+        head = self.new_block("match")
+        head.stmts.append(stmt)
+        self.edge(cur, head)
+        self.edge(head, ctx.exc(), EDGE_EXC)
+        after = self.new_block()
+        for case in stmt.cases:
+            case_entry = self.new_block()
+            self.edge(head, case_entry, EDGE_TRUE)
+            end = self.emit_body(case.body, case_entry, ctx)
+            if end is not None:
+                self.edge(end, after)
+        self.edge(head, after, EDGE_FALSE)  # no case matched
+        return after
+
+    # -- try/except/else/finally ---------------------------------------
+    def emit_Try(self, stmt: ast.Try, cur: Block, ctx: _Ctx):
+        after = self.new_block("after-try")
+
+        if stmt.finalbody:
+            # one finally instance per continuation, memoised so diamond
+            # control flow does not duplicate cleanup blocks
+            instances: dict[int, Block] = {}
+
+            def fin_to(target_thunk):
+                def thunk() -> Block:
+                    target = target_thunk()
+                    if id(target) not in instances:
+                        fin_entry = self.new_block("finally")
+                        instances[id(target)] = fin_entry
+                        fin_end = self.emit_body(stmt.finalbody, fin_entry, ctx)
+                        if fin_end is not None:
+                            self.edge(fin_end, target)
+                    return instances[id(target)]
+
+                return thunk
+
+            outer_ctx = _Ctx(
+                exc=fin_to(ctx.exc),
+                ret=fin_to(ctx.ret),
+                brk=fin_to(ctx.brk) if ctx.brk is not None else None,
+                cont=fin_to(ctx.cont) if ctx.cont is not None else None,
+            )
+            normal_exit = fin_to(lambda: after)
+        else:
+            outer_ctx = ctx
+            normal_exit = lambda: after  # noqa: E731 - tiny local thunk
+
+        if stmt.handlers:
+            dispatch = self.new_block("except-dispatch")
+            if not any(_is_catch_all(h) for h in stmt.handlers):
+                # uncaught exceptions propagate (through finally) to the
+                # caller; a bare/BaseException handler closes that path
+                self.edge(dispatch, outer_ctx.exc(), EDGE_EXC)
+            body_ctx = _Ctx(
+                exc=lambda: dispatch,
+                ret=outer_ctx.ret,
+                brk=outer_ctx.brk,
+                cont=outer_ctx.cont,
+            )
+        else:
+            dispatch = None
+            body_ctx = outer_ctx
+
+        body_entry = self.new_block("try")
+        self.edge(cur, body_entry)
+        body_end = self.emit_body(stmt.body, body_entry, body_ctx)
+        # the else clause is NOT protected by this try's handlers
+        else_end = (
+            self.emit_body(stmt.orelse, body_end, outer_ctx)
+            if body_end is not None
+            else None
+        )
+        if else_end is not None:
+            self.edge(else_end, normal_exit())
+
+        if dispatch is not None:
+            for handler in stmt.handlers:
+                h_entry = self.new_block("except")
+                self.edge(dispatch, h_entry, EDGE_EXC)
+                h_end = self.emit_body(handler.body, h_entry, outer_ctx)
+                if h_end is not None:
+                    self.edge(h_end, normal_exit())
+
+        if not after.preds:
+            return None
+        return after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph for one function definition."""
+    return _Builder(func).build()

@@ -97,6 +97,12 @@ EPOCH_LOOP_GUARDED_MODULES = frozenset(
     }
 )
 
+#: Exception-safety scope (HCC202): the engine's attempt loop and the
+#: resilience layer are the only places that mutate P/Q or open backend
+#: attempts under recovery pressure, so a raise that escapes them with
+#: state half-mutated corrupts the next attempt instead of failing it.
+EXCEPTION_SAFETY_PREFIXES = ("repro/engine/", "repro/resilience/")
+
 #: Multi-process coordination code (HCC112): an unbounded ``.wait()`` /
 #: ``.join()`` / ``.get()`` here deadlocks forever when a peer process
 #: dies instead of surfacing a detectable failure — every blocking
@@ -155,3 +161,7 @@ def is_epoch_loop_guarded_module(key: str) -> bool:
 
 def is_bounded_wait_module(key: str) -> bool:
     return key.startswith(BOUNDED_WAIT_PREFIXES)
+
+
+def is_exception_safety_module(key: str) -> bool:
+    return key.startswith(EXCEPTION_SAFETY_PREFIXES)

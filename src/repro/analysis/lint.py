@@ -162,22 +162,79 @@ class Rule:
 
 _REGISTRY: dict[str, Rule] = {}
 
+#: Flow-sensitive rules (HCC2xx) live in their own registry: they cost a
+#: CFG + fixpoint per function, so the default ``repro lint`` run stays
+#: AST-only and ``--flow`` (or ``--select HCC2``) opts in.
+_FLOW_REGISTRY: dict[str, Rule] = {}
 
-def rule(cls: type) -> type:
-    """Class decorator: instantiate and register a rule."""
+
+def _register(cls: type, registry: dict[str, Rule]) -> type:
     instance = cls()
-    for existing in _REGISTRY.values():
+    for existing in (*_REGISTRY.values(), *_FLOW_REGISTRY.values()):
         if existing.rule_id == instance.rule_id:
             raise ValueError(f"duplicate rule id {instance.rule_id}")
-    _REGISTRY[instance.name] = instance
+    registry[instance.name] = instance
     return cls
 
 
+def rule(cls: type) -> type:
+    """Class decorator: instantiate and register an AST rule."""
+    return _register(cls, _REGISTRY)
+
+
+def flow_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a flow-sensitive rule."""
+    return _register(cls, _FLOW_REGISTRY)
+
+
 def all_rules() -> list[Rule]:
-    """Registered rules, importing the built-in rule set on first use."""
+    """Registered AST rules, importing the built-in rule set on first use."""
     import repro.analysis.rules  # noqa: F401  (registration side effect)
 
     return sorted(_REGISTRY.values(), key=lambda r: r.rule_id)
+
+
+def flow_rules() -> list[Rule]:
+    """Registered flow-sensitive rules (the HCC2xx set)."""
+    import repro.analysis.flow  # noqa: F401  (registration side effect)
+
+    return sorted(_FLOW_REGISTRY.values(), key=lambda r: r.rule_id)
+
+
+def filter_rules(
+    rules: Sequence[Rule],
+    select: str | None = None,
+    ignore: str | None = None,
+) -> list[Rule]:
+    """Apply ``--select`` / ``--ignore`` tokens to a rule list.
+
+    Tokens are comma-separated and case-insensitive; each matches a rule
+    by id prefix (``HCC2`` selects every HCC2xx rule, ``HCC101`` exactly
+    one) or by exact slug (``shm-lifecycle``).  ``select`` keeps only
+    matching rules; ``ignore`` then drops matches.  Unknown tokens raise
+    so typos fail loudly instead of silently disabling a gate.
+    """
+
+    def parse(spec: str | None) -> list[str]:
+        if not spec:
+            return []
+        return [tok.strip().lower() for tok in spec.split(",") if tok.strip()]
+
+    def matches(r: Rule, token: str) -> bool:
+        return r.rule_id.lower().startswith(token) or r.name.lower() == token
+
+    chosen = list(rules)
+    for label, tokens in (("select", parse(select)), ("ignore", parse(ignore))):
+        for token in tokens:
+            if not any(matches(r, token) for r in rules):
+                raise ValueError(f"--{label} token {token!r} matches no known rule")
+        if not tokens:
+            continue
+        if label == "select":
+            chosen = [r for r in chosen if any(matches(r, t) for t in tokens)]
+        else:
+            chosen = [r for r in chosen if not any(matches(r, t) for t in tokens)]
+    return chosen
 
 
 # ---------------------------------------------------------------------------

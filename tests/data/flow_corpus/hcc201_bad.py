@@ -1,0 +1,40 @@
+"""Known-bad resource lifecycles the flow engine must flag (HCC201).
+
+Each ``# expect: HCCnnn`` marks the line a finding must be reported on;
+the corpus test fails if any expected finding is missing *or* any
+unexpected one appears.
+"""
+
+import os
+from multiprocessing import shared_memory
+
+
+def leaks_on_exception_path(nbytes, risky):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)  # expect: HCC201
+    risky(shm.name)  # if this raises, the segment leaks until reboot
+    shm.close()
+    shm.unlink()
+
+
+def leaks_on_branch(nbytes, flag):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)  # expect: HCC201
+    if flag:
+        shm.close()
+        shm.unlink()
+    # the flag=False path falls off the end with the segment open
+
+
+def rebinds_while_open(nbytes):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)  # expect: HCC201
+    shm.close()
+    shm.unlink()
+
+
+def tmp_checkpoint_not_crash_atomic(target, payload):
+    tmp = target.with_name(target.name + ".tmp")  # expect: HCC201
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+    # a crash before os.replace leaves the .tmp file behind: the
+    # cleanup must live in a finally block
+    os.replace(tmp, target)

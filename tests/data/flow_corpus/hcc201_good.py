@@ -1,0 +1,61 @@
+"""Correct resource lifecycles HCC201 must pass clean."""
+
+import os
+from multiprocessing import shared_memory
+
+from repro.parallel.shm import SharedArray
+
+
+def closes_in_finally(nbytes, risky):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        risky(shm.name)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def cleanup_in_except_then_reraise(nbytes, risky):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        risky(shm.name)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    shm.close()
+    shm.unlink()
+
+
+def _consume(shm):
+    try:
+        return bytes(shm.buf[:1])
+    finally:
+        shm.close()
+
+
+def hands_off_to_closing_helper(nbytes):
+    # _consume's summary says it closes its parameter on every path
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    return _consume(shm)
+
+
+def registers_cleanup_callback(stack, nbytes):
+    buf = SharedArray.create((nbytes,), "float32")
+    stack.callback(buf.unlink)
+    return buf
+
+
+def crash_atomic_write(target, payload):
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def managed_by_with(spec):
+    with SharedArray.attach(spec) as arr:
+        return arr.array.sum()

@@ -1,0 +1,31 @@
+"""Known-bad float64 flows into FP32 kernel arguments (HCC203)."""
+
+import numpy as np
+
+from repro.mf.kernels import sgd_epoch
+
+
+def taints_through_assignment(model, batch):
+    lr_schedule = np.zeros(8, dtype=np.float64)
+    scaled = lr_schedule * 0.5  # NumPy promotion keeps float64
+    sgd_epoch(model, batch, scaled)  # expect: HCC203
+
+
+def taints_through_helper(model, batch):
+    rates = _double_rates()
+    sgd_epoch(model, batch, rates)  # expect: HCC203
+
+
+def _double_rates():
+    return np.linspace(0.0, 1.0, 8, dtype=np.float64)
+
+
+def explicit_cast_upward(model, batch, rates):
+    wide = rates.astype(np.float64)
+    sgd_epoch(model, batch, wide)  # expect: HCC203
+
+
+def python_float_dtype(model, batch):
+    # dtype=float is float64 in NumPy
+    biases = np.zeros(8, dtype=float)
+    sgd_epoch(model, batch, biases)  # expect: HCC203

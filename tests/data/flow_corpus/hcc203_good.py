@@ -1,0 +1,30 @@
+"""Dtype-correct kernel callers HCC203 must pass clean."""
+
+import numpy as np
+
+from repro.mf.kernels import sgd_epoch
+
+
+def casts_before_kernel(model, batch):
+    lr_schedule = np.zeros(8, dtype=np.float64)
+    scaled = (lr_schedule * 0.5).astype(np.float32)
+    sgd_epoch(model, batch, scaled)
+
+
+def float32_throughout(model, batch):
+    rates = np.zeros(8, dtype=np.float32)
+    sgd_epoch(model, batch, rates)
+
+
+def branch_taint_cleared_on_both_paths(model, batch, wide):
+    if wide:
+        rates = np.zeros(8, dtype=np.float64).astype(np.float32)
+    else:
+        rates = np.zeros(8, dtype=np.float32)
+    sgd_epoch(model, batch, rates)
+
+
+def stats_may_use_float64(history):
+    # float64 away from kernels is fine: only the sink is guarded
+    mean = np.zeros(8, dtype=np.float64)
+    return mean + np.asarray(history, dtype=np.float64)

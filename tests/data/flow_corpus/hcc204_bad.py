@@ -1,0 +1,29 @@
+"""Known-bad backend stage orderings (HCC204)."""
+
+
+def push_before_compute(backend, epoch):
+    backend.pull(epoch)
+    backend.push(epoch)  # expect: HCC204
+    backend.sync(epoch)
+
+
+def double_pull(backend, epoch):
+    backend.pull(epoch)
+    backend.pull(epoch)  # expect: HCC204
+
+
+def sync_without_push(backend, epoch):
+    backend.pull(epoch)
+    backend.compute(epoch)
+    backend.sync(epoch)  # expect: HCC204
+
+
+def finalize_mid_epoch(backend, telemetry, epoch):
+    backend.pull(epoch)
+    backend.compute(epoch)
+    backend.finalize(telemetry)  # expect: HCC204
+
+
+def pull_before_open(backend_cls, model, plan):
+    backend = backend_cls.SimBackend(model, plan)
+    backend.pull(0)  # expect: HCC204

@@ -1,0 +1,28 @@
+"""Protocol-conforming backend drivers HCC204 must pass clean."""
+
+
+def full_epoch_loop(backend, model, plan, epochs):
+    backend.open(model, plan)
+    try:
+        for epoch in range(epochs):
+            backend.pull(epoch)
+            backend.compute(epoch)
+            backend.push(epoch)
+            backend.sync(epoch)
+            backend.evaluate(epoch)
+        backend.finalize(None)
+    finally:
+        backend.close()
+
+
+def hands_backend_to_engine(backend, engine_cls):
+    # passing the backend away resets tracking: the engine drives it
+    backend.open(1, 2)
+    engine = engine_cls(backend)
+    engine.run()
+    backend.close()
+
+
+def close_is_legal_anywhere(backend, epoch):
+    backend.pull(epoch)
+    backend.close()

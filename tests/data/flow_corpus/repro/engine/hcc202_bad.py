@@ -1,0 +1,28 @@
+"""Known-bad exception-safety patterns (HCC202).
+
+This file sits under a ``repro/engine/`` corpus path because HCC202 is
+scoped to the engine/resilience modules.
+"""
+
+
+class TornSyncBackend:
+    def merge_then_validate(self, payloads):
+        # merging before validating means a bad payload raises with Q
+        # half-mutated and no restore on the path
+        self.model.Q += payloads[0]
+        if not self.ok(payloads):
+            raise ValueError("torn payload")  # expect: HCC202
+
+    def copy_then_bail(self, np, payloads):
+        np.copyto(self.model.P, payloads[0])
+        if not self.ok(payloads):
+            raise ValueError("torn payload")  # expect: HCC202
+
+
+class LeakyAttemptEngine:
+    def attempt_without_finally(self, model, plan, epochs):
+        self.backend.open(model, plan, epochs)  # expect: HCC202
+        for epoch in range(epochs):
+            self.backend.pull(epoch)
+        # any exception in the loop escapes with the attempt open
+        self.backend.close()

@@ -1,0 +1,30 @@
+"""Exception-safe engine patterns HCC202 must pass clean."""
+
+
+class SafeSyncBackend:
+    def validate_then_merge(self, payloads):
+        if not self.ok(payloads):
+            raise ValueError("torn payload")
+        self.model.Q += payloads[0]
+
+    def restore_before_raise(self, payloads):
+        self.model.P[:] = payloads[0]
+        if not self.ok(payloads):
+            self._restore_p()
+            raise ValueError("torn payload")
+
+    def snapshot_copyto_restore(self, np, payloads):
+        self.model.P[:] = payloads[0]
+        if not self.ok(payloads):
+            np.copyto(self.model.P, self._p_snapshot)
+            raise ValueError("torn payload")
+
+
+class SafeAttemptEngine:
+    def attempt_with_finally(self, model, plan, epochs):
+        self.backend.open(model, plan, epochs)
+        try:
+            for epoch in range(epochs):
+                self.backend.pull(epoch)
+        finally:
+            self.backend.close()

@@ -1,0 +1,240 @@
+"""Tests for the CFG builder (:mod:`repro.analysis.cfg`)."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (
+    EDGE_EXC,
+    EDGE_FALSE,
+    EDGE_TRUE,
+    build_cfg,
+    may_raise,
+)
+from repro.analysis.flow import reaching_definitions
+
+
+def cfg_of(src: str):
+    tree = ast.parse(textwrap.dedent(src))
+    fn = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    return build_cfg(fn)
+
+
+def block_at(cfg, lineno):
+    for block in cfg.blocks:
+        if block.stmt is not None and block.stmt.lineno == lineno:
+            return block
+    raise AssertionError(f"no block holds a statement at line {lineno}")
+
+
+def reachable_from(block):
+    seen = {block}
+    stack = [block]
+    while stack:
+        for succ, _ in stack.pop().succs:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+class TestStructure:
+    def test_linear_function_reaches_exit(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                y = g(x)
+                return y
+            """
+        )
+        assert cfg.exit in reachable_from(cfg.entry)
+        # g(x) may raise, so the exception exit is reachable too
+        assert cfg.raise_exit in reachable_from(cfg.entry)
+
+    def test_call_statement_has_exception_edge(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                g(x)
+            """
+        )
+        block = block_at(cfg, 3)
+        kinds = {kind for _, kind in block.succs}
+        assert EDGE_EXC in kinds
+        assert any(succ is cfg.raise_exit for succ, _ in block.succs)
+
+    def test_if_has_true_and_false_edges(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a()
+                else:
+                    b()
+            """
+        )
+        test_block = block_at(cfg, 3)
+        kinds = {kind for _, kind in test_block.succs}
+        assert {EDGE_TRUE, EDGE_FALSE} <= kinds
+        # both arms are reachable from the test
+        reach = reachable_from(test_block)
+        assert block_at(cfg, 4) in reach and block_at(cfg, 6) in reach
+
+    def test_while_loop_has_back_edge(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                while x:
+                    x = step(x)
+            """
+        )
+        head = block_at(cfg, 3)
+        body = block_at(cfg, 4)
+        assert head in reachable_from(body)  # back edge closes the loop
+
+    def test_break_exits_the_loop(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    break
+                tail()
+            """
+        )
+        brk = block_at(cfg, 4)
+        assert block_at(cfg, 5) in reachable_from(brk)
+
+    def test_exception_in_try_reaches_handler(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    risky(x)
+                except ValueError:
+                    fallback()
+            """
+        )
+        body = block_at(cfg, 4)
+        assert block_at(cfg, 6) in reachable_from(body)
+
+    def test_raise_in_try_passes_through_finally(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    raise ValueError(x)
+                finally:
+                    cleanup()
+            """
+        )
+        raise_block = block_at(cfg, 4)
+        reach = reachable_from(raise_block)
+        assert block_at(cfg, 6) in reach  # finally body runs
+        assert cfg.raise_exit in reach  # and the exception still escapes
+        assert cfg.exit not in reach  # the raise never falls through
+
+    def test_return_in_try_passes_through_finally(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    return x
+                finally:
+                    cleanup()
+            """
+        )
+        ret_block = block_at(cfg, 4)
+        reach = reachable_from(ret_block)
+        assert block_at(cfg, 6) in reach
+        assert cfg.exit in reach
+
+    def test_else_clause_not_protected_by_handlers(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    safe = 1
+                except ValueError:
+                    fallback()
+                else:
+                    risky(x)
+            """
+        )
+        else_block = block_at(cfg, 8)
+        # risky() raising must escape the function, not re-enter except
+        assert cfg.raise_exit in reachable_from(else_block)
+        assert block_at(cfg, 6) not in reachable_from(else_block)
+
+    def test_rpo_starts_at_entry(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a()
+                b()
+            """
+        )
+        order = cfg.rpo()
+        assert order[0] is cfg.entry
+        assert set(order) == reachable_from(cfg.entry)
+
+
+class TestMayRaise:
+    def parse_stmt(self, src):
+        return ast.parse(textwrap.dedent(src)).body[0]
+
+    def test_safe_statements(self):
+        for src in ("pass", "x = 1", "x = y", "x = (1, 2)", "shm.close()"):
+            assert not may_raise(self.parse_stmt(src)), src
+
+    def test_raising_statements(self):
+        for src in (
+            "f()",
+            "x = f()",
+            "x = a.b",
+            "x = a[0]",
+            "raise ValueError()",
+            "x += 1",
+            "assert x",
+        ):
+            assert may_raise(self.parse_stmt(src)), src
+
+
+class TestReachingDefinitions:
+    def test_branch_definitions_merge(self):
+        src = """
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        cfg = cfg_of(src)
+        states = reaching_definitions(cfg)
+        ret_block = block_at(cfg, 7)
+        assert states[ret_block]["x"] == frozenset({4, 6})
+
+    def test_redefinition_kills_previous(self):
+        src = """
+            def f():
+                x = 1
+                x = 2
+                return x
+            """
+        cfg = cfg_of(src)
+        states = reaching_definitions(cfg)
+        ret_block = block_at(cfg, 5)
+        assert states[ret_block]["x"] == frozenset({4})
+
+    def test_loop_definitions_reach_header(self):
+        src = """
+            def f(items):
+                acc = 0
+                for item in items:
+                    acc = step(acc, item)
+                return acc
+            """
+        cfg = cfg_of(src)
+        states = reaching_definitions(cfg)
+        ret_block = block_at(cfg, 6)
+        assert states[ret_block]["acc"] == frozenset({3, 5})

@@ -1,0 +1,318 @@
+"""Tests for the flow-sensitive HCC2xx rules, summaries and baselines."""
+
+import ast
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.flow import (
+    module_summaries,
+    summarize_function,
+)
+from repro.analysis.lint import (
+    LintIssue,
+    Severity,
+    all_rules,
+    filter_rules,
+    flow_rules,
+    lint_paths,
+    lint_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CORPUS = Path(__file__).resolve().parent / "data" / "flow_corpus"
+EXPECT_RE = re.compile(r"#\s*expect:\s*(HCC\d+)")
+
+
+def flow_issues(source: str, path: str = "corpus.py"):
+    return lint_source(textwrap.dedent(source), path, rules=flow_rules())
+
+
+# ---------------------------------------------------------------------------
+# the seeded corpus: every annotated violation flagged, nothing else
+# ---------------------------------------------------------------------------
+def corpus_files():
+    files = sorted(CORPUS.rglob("*.py"))
+    assert files, f"flow corpus missing at {CORPUS}"
+    return files
+
+
+@pytest.mark.parametrize(
+    "fpath", corpus_files(), ids=lambda p: str(p.relative_to(CORPUS))
+)
+def test_corpus_findings_match_annotations(fpath):
+    source = fpath.read_text(encoding="utf-8")
+    expected = {
+        (lineno, m.group(1))
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        for m in [EXPECT_RE.search(line)]
+        if m
+    }
+    issues = lint_source(source, str(fpath), rules=flow_rules())
+    actual = {(i.line, i.rule_id) for i in issues}
+    missing = expected - actual
+    unexpected = actual - expected
+    assert not missing, f"{fpath.name}: expected findings not reported: {missing}"
+    assert not unexpected, f"{fpath.name}: unexpected findings: {unexpected}"
+
+
+def test_corpus_covers_every_flow_rule():
+    expected_ids = set()
+    for fpath in corpus_files():
+        expected_ids |= set(EXPECT_RE.findall(fpath.read_text(encoding="utf-8")))
+    assert expected_ids == {r.rule_id for r in flow_rules()}
+
+
+def test_src_tree_is_clean_under_flow_rules():
+    issues = lint_paths([str(REPO_ROOT / "src")], rules=flow_rules())
+    rendered = [f"{i.path}:{i.line} {i.rule_id}: {i.message}" for i in issues]
+    assert rendered == []
+
+
+# ---------------------------------------------------------------------------
+# registries and filtering
+# ---------------------------------------------------------------------------
+class TestRegistryAndFiltering:
+    def test_flow_registry_ids(self):
+        assert [r.rule_id for r in flow_rules()] == [
+            "HCC201",
+            "HCC202",
+            "HCC203",
+            "HCC204",
+        ]
+
+    def test_flow_rules_not_in_default_registry(self):
+        default_ids = {r.rule_id for r in all_rules()}
+        assert not any(rule_id.startswith("HCC2") for rule_id in default_ids)
+
+    def test_select_by_prefix(self):
+        chosen = filter_rules(all_rules() + flow_rules(), select="HCC2")
+        assert [r.rule_id for r in chosen] == ["HCC201", "HCC202", "HCC203", "HCC204"]
+
+    def test_select_by_slug_and_id(self):
+        chosen = filter_rules(
+            all_rules() + flow_rules(), select="flow-dtype-taint,HCC201"
+        )
+        assert [r.rule_id for r in chosen] == ["HCC201", "HCC203"]
+
+    def test_ignore_drops_rules(self):
+        chosen = filter_rules(flow_rules(), ignore="flow-dtype-taint")
+        assert [r.rule_id for r in chosen] == ["HCC201", "HCC202", "HCC204"]
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(ValueError, match="matches no known rule"):
+            filter_rules(flow_rules(), select="HCC999")
+
+
+# ---------------------------------------------------------------------------
+# targeted behaviours beyond the corpus
+# ---------------------------------------------------------------------------
+class TestResourceLeakRule:
+    def test_suppression_comment_applies(self):
+        issues = flow_issues(
+            """
+            from multiprocessing import shared_memory
+
+            def intentional(nbytes):  # a justified exception
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)  # hcclint: disable=flow-resource-leak
+                return shm.name
+            """
+        )
+        assert issues == []
+
+    def test_passing_to_unknown_callee_is_lenient(self):
+        issues = flow_issues(
+            """
+            from multiprocessing import shared_memory
+
+            def hands_off(nbytes, registry):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                registry.adopt(shm)
+            """
+        )
+        assert issues == []
+
+    def test_clean_module_helper_keeps_tracking(self):
+        issues = flow_issues(
+            """
+            from multiprocessing import shared_memory
+
+            def _log(shm):
+                print(shm.name)
+
+            def still_leaks(nbytes):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                _log(shm)
+            """
+        )
+        assert [i.rule_id for i in issues] == ["HCC201"]
+
+
+class TestExceptionSafetyRule:
+    def test_out_of_scope_module_is_ignored(self):
+        issues = flow_issues(
+            """
+            def merge_then_validate(self, payloads):
+                self.model.Q += payloads[0]
+                if not self.ok(payloads):
+                    raise ValueError("torn payload")
+            """,
+            path="src/repro/core/server.py",
+        )
+        assert issues == []
+
+    def test_resilience_scope_is_checked(self):
+        issues = flow_issues(
+            """
+            def merge_then_validate(self, payloads):
+                self.model.Q += payloads[0]
+                if not self.ok(payloads):
+                    raise ValueError("torn payload")
+            """,
+            path="src/repro/resilience/recovery.py",
+        )
+        assert [i.rule_id for i in issues] == ["HCC202"]
+
+
+class TestStageProtocolRule:
+    def test_violation_names_the_transition(self):
+        issues = flow_issues(
+            """
+            def bad(backend, epoch):
+                backend.pull(epoch)
+                backend.push(epoch)
+            """
+        )
+        assert len(issues) == 1
+        assert "push()" in issues[0].message
+        assert "pulled" in issues[0].message and "computed" in issues[0].message
+
+    def test_may_states_suppress_false_alarms(self):
+        # after the if, the backend may be pulled OR computed; compute is
+        # legal from pulled, so no *definite* violation exists
+        issues = flow_issues(
+            """
+            def ambiguous(backend, epoch, flag):
+                backend.pull(epoch)
+                if flag:
+                    backend.compute(epoch)
+                backend.compute(epoch)
+            """
+        )
+        assert issues == []
+
+
+# ---------------------------------------------------------------------------
+# function summaries
+# ---------------------------------------------------------------------------
+class TestSummaries:
+    def summarize(self, src):
+        tree = ast.parse(textwrap.dedent(src))
+        fn = next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+        return summarize_function(fn)
+
+    def test_closes_param(self):
+        summary = self.summarize(
+            """
+            def _teardown(shm):
+                shm.close()
+                shm.unlink()
+            """
+        )
+        assert summary.effects["shm"].closes
+
+    def test_stores_param(self):
+        summary = self.summarize(
+            """
+            def _adopt(self, shm):
+                self._segments.append(shm)
+            """
+        )
+        assert summary.effects["shm"].stores
+        assert not summary.effects["shm"].closes
+
+    def test_returns_param(self):
+        summary = self.summarize(
+            """
+            def _wrap(shm, spec):
+                return (shm, spec)
+            """
+        )
+        assert summary.effects["shm"].returns
+
+    def test_returns_float64(self):
+        summary = self.summarize(
+            """
+            def _rates(n):
+                import numpy as np
+                return np.zeros(n, dtype=np.float64)
+            """
+        )
+        assert summary.returns_float64
+
+    def test_module_summaries_cover_toplevel_functions(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def a(x):
+                    return x
+
+                def b(y):
+                    y.close()
+                """
+            )
+        )
+        summaries = module_summaries(tree)
+        assert set(summaries) == {"a", "b"}
+        assert summaries["b"].effects["y"].closes
+
+
+# ---------------------------------------------------------------------------
+# baseline files
+# ---------------------------------------------------------------------------
+def make_issue(path="src/x.py", rule_id="HCC201", message="leak", line=3):
+    return LintIssue(
+        rule="flow-resource-leak",
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        col=0,
+        message=message,
+    )
+
+
+class TestBaseline:
+    def test_apply_splits_new_from_baselined(self):
+        recorded = make_issue(line=3)
+        baseline = Baseline.from_issues([recorded])
+        # same shape on a different line still matches (line-agnostic)...
+        new, baselined = baseline.apply([make_issue(line=99)])
+        assert new == [] and len(baselined) == 1
+        # ...but a different message is a new finding
+        new, baselined = baseline.apply([make_issue(message="other leak")])
+        assert len(new) == 1 and baselined == []
+
+    def test_counts_bound_repeats(self):
+        baseline = Baseline.from_issues([make_issue(), make_issue()])
+        found = [make_issue(), make_issue(), make_issue()]
+        new, baselined = baseline.apply(found)
+        assert len(baselined) == 2 and len(new) == 1
+
+    def test_roundtrip(self):
+        baseline = Baseline.from_issues([make_issue()])
+        again = Baseline.from_json(baseline.to_json())
+        assert again.entries == baseline.entries
+
+    def test_rejects_garbage(self):
+        with pytest.raises(BaselineError):
+            Baseline.from_json("not json")
+        with pytest.raises(BaselineError):
+            Baseline.from_json('{"version": 99}')
+
+    def test_repo_baseline_is_valid_and_empty(self):
+        baseline = Baseline.load(str(REPO_ROOT / ".hcclint-baseline.json"))
+        assert baseline.entries == {}
