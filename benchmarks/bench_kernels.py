@@ -3,19 +3,20 @@
 These complement the paper-table benches: they measure the real NumPy
 SGD throughput (this host's "computing power" in the paper's Eq. 8
 sense), the communication buffers' copy discipline, and the FP16 codec.
+
+The workload is :func:`repro.obs.bench.kernel_workload` — the same
+pinned synthetic matrix the ``repro bench`` suite measures, so
+pytest-benchmark numbers and ``BENCH_train.json`` entries describe the
+same work.
 """
 
 import numpy as np
 
 from repro.core.comm import PullBuffer
 from repro.core.compression import compress_fp16, decompress_fp16
-from repro.data.datasets import NETFLIX
 from repro.mf.kernels import ConflictPolicy, sgd_epoch
 from repro.mf.model import MFModel
-
-
-def _data(nnz=60_000, seed=0):
-    return NETFLIX.scaled(nnz).generate(seed=seed)
+from repro.obs.bench import kernel_workload as _data
 
 
 def bench_sgd_epoch_atomic(benchmark):

@@ -117,7 +117,19 @@ stage test "engine-parity" python -m repro engine-parity \
 stage test "fault-smoke" python -m repro fault-smoke \
     --nnz 4000 --epochs 4 --k 8 --workers 3 --barrier-timeout 5
 
-# 2e. chaos-parity: a small seeded fault matrix through both planes —
+# 2e. bench-smoke: the pinned perf suite at smoke sizes must emit a
+# schema-valid document (write_bench validates before writing,
+# load_bench re-validates on read) and self-compare must pass clean
+# (docs/observability.md).  Writes BENCH_smoke.json, not the committed
+# full-suite BENCH_train.json baseline; CI uploads both.
+bench_smoke() {
+    python -m repro bench --quick --out BENCH_smoke.json \
+        && python -m repro bench --compare BENCH_smoke.json \
+            --against BENCH_smoke.json > /dev/null
+}
+stage test "bench-smoke" bench_smoke
+
+# 2f. chaos-parity: a small seeded fault matrix through both planes —
 # one scenario cross-plane, the rest sim-only invariants — plus a
 # randomized sim-only sweep (docs/resilience.md)
 stage test "chaos-parity" python -m repro chaos-parity \

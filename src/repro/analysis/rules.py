@@ -641,21 +641,27 @@ class WallClockRule(Rule):
     rationale = (
         "Telemetry spans and probes are compared across processes, so they "
         "need one monotonic time base.  time.time() jumps under NTP slew — "
-        "a span can end before it starts; time.perf_counter() is the "
+        "a span can end before it starts; time.monotonic() is a *different* "
+        "base (and coarser on some platforms), so mixing it in misaligns "
+        "spans against every other module; time.perf_counter() is the "
         "system-wide monotonic clock every timing module must share."
     )
+
+    _BANNED = {
+        "time.time": "time.time() is wall clock (non-monotonic); timing "
+                     "code must use time.perf_counter()",
+        "time.monotonic": "time.monotonic() is a second monotonic base; "
+                          "timing code must share time.perf_counter()",
+    }
 
     def check(self, ctx: FileContext) -> Iterator[LintIssue]:
         if not is_timing_module(ctx.module):
             return
         for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Call) and _dotted(node.func) == "time.time":
-                yield self.issue(
-                    ctx,
-                    node,
-                    "time.time() is wall clock (non-monotonic); timing code "
-                    "must use time.perf_counter()",
-                )
+            if isinstance(node, ast.Call):
+                message = self._BANNED.get(_dotted(node.func))
+                if message is not None:
+                    yield self.issue(ctx, node, message)
 
 
 # ---------------------------------------------------------------------------

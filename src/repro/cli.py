@@ -23,7 +23,14 @@ Commands
     Run hcclint, the domain static analyzer, over source paths.
 ``obs-report``
     Summarize an instrumented run offline from its ``--trace`` /
-    ``--metrics`` artifacts (ASCII Gantt, phase totals, metric values).
+    ``--metrics`` / ``--hotpaths`` artifacts (ASCII Gantt, phase
+    totals, metric values, stage-attributed hotpath table).
+``bench``
+    Run the pinned perf suite (kernel updates/sec, epoch time on both
+    planes, channel wire bytes/sec), emit a schema-versioned
+    ``BENCH_train.json``, compare against an older document with
+    noise-aware regression verdicts (exit code 3 on regression), or
+    profile a run per engine stage (``--profile``).
 ``race-check``
     Prove the P-row ownership and one-copy buffer invariants with the
     dynamic race detector (DP0/DP1/DP2 plans, optional injected bug).
@@ -295,12 +302,115 @@ def _cmd_engine_parity(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """The pinned perf suite: run / compare / profile."""
+    from repro.obs.bench import (
+        EXIT_REGRESSION,
+        SUITES,
+        BenchConfig,
+        BenchValidationError,
+        compare_docs,
+        load_bench,
+        run_suite,
+        write_bench,
+    )
+
+    suites = tuple(s for s in args.suites.split(",") if s)
+    unknown = set(suites) - set(SUITES)
+    if unknown:
+        print(f"unknown suite(s) {sorted(unknown)}; "
+              f"available: {list(SUITES)}", file=sys.stderr)
+        return 2
+
+    if args.compare and args.against:
+        # pure file-vs-file compare: no suite run
+        try:
+            old = load_bench(args.compare)
+            new = load_bench(args.against)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load bench document: {exc}", file=sys.stderr)
+            return 2
+        report = compare_docs(old, new, threshold_pct=args.threshold)
+        print(report.render())
+        return 0 if report.ok else EXIT_REGRESSION
+
+    if args.profile:
+        return _bench_profile(args)
+
+    overrides = {}
+    if args.nnz is not None:
+        overrides["nnz"] = args.nnz
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    config = (
+        BenchConfig.quick_config(**overrides)
+        if args.quick
+        else BenchConfig(**overrides)
+    )
+    doc = run_suite(config, suites=suites, log=print)
+    try:
+        write_bench(doc, args.out)
+    except BenchValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"wrote {args.out} ({len(doc['metrics'])} metrics, "
+          f"git {doc['provenance']['git_sha'][:12]})")
+    if args.compare:
+        try:
+            old = load_bench(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load bench document: {exc}", file=sys.stderr)
+            return 2
+        report = compare_docs(old, doc, threshold_pct=args.threshold)
+        print(report.render())
+        return 0 if report.ok else EXIT_REGRESSION
+    return 0
+
+
+def _bench_profile(args: argparse.Namespace) -> int:
+    """One stage-profiled process-plane run + the hotpath report."""
+    from repro.obs.bench import BenchConfig, kernel_workload
+    from repro.obs.profile import StageProfiler
+    from repro.parallel.executor import SharedMemoryTrainer
+
+    config = BenchConfig.quick_config() if args.quick else BenchConfig()
+    if args.nnz is not None:
+        config = BenchConfig(**{**config.__dict__, "nnz": args.nnz})
+    ratings = kernel_workload(config.nnz, config.seed)
+    profiler = StageProfiler()
+    try:
+        SharedMemoryTrainer(
+            ratings, k=config.k, n_workers=config.workers,
+            seed=config.seed, batch_size=config.batch_size,
+            profile=profiler,
+        ).train(config.epochs)
+        report = profiler.report()
+    finally:
+        profiler.cleanup()
+    print(report.render(top_n=args.top))
+    if args.profile_out:
+        report.save(args.profile_out)
+        print(f"wrote {args.profile_out}")
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     """Offline view of an instrumented run's artifacts."""
     from repro.hardware.trace import import_chrome_trace
     from repro.obs import read_metrics_jsonl
 
     shown = False
+    if getattr(args, "hotpaths", None):
+        from repro.obs.profile import StageProfileReport
+
+        try:
+            report = StageProfileReport.load(args.hotpaths)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read hotpaths: {exc}", file=sys.stderr)
+            return 2
+        print(f"hotpaths: {args.hotpaths}")
+        print(report.render(top_n=getattr(args, "top", 10)))
+        shown = True
     if args.trace:
         try:
             timeline = import_chrome_trace(args.trace)
@@ -334,7 +444,8 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
             print(f"  {line['name']}{{{labels}}} = {line['value']:g}")
         shown = True
     if not shown:
-        print("nothing to report: pass --trace and/or --metrics", file=sys.stderr)
+        print("nothing to report: pass --trace, --metrics and/or --hotpaths",
+              file=sys.stderr)
         return 2
     return 0
 
@@ -737,6 +848,46 @@ def build_parser() -> argparse.ArgumentParser:
                      help="chrome-trace JSON written by train --trace")
     obs.add_argument("--metrics", metavar="FILE",
                      help="metrics JSONL written by train --metrics")
+    obs.add_argument("--hotpaths", metavar="FILE",
+                     help="hotpath JSON written by bench --profile-out")
+    obs.add_argument("--top", type=int, default=10,
+                     help="hotpath entries to show (default: 10)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned perf suite / compare BENCH documents",
+    )
+    bench.add_argument("--out", default="BENCH_train.json", metavar="FILE",
+                       help="where to write the bench document "
+                            "(default: BENCH_train.json)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke sizes: tiny nnz, one repeat "
+                            "(numbers are not cross-PR comparable)")
+    bench.add_argument("--suites", default=",".join(
+                           ("kernel", "epoch", "wire")),
+                       help="comma-separated suite sections to run "
+                            "(default: kernel,epoch,wire)")
+    bench.add_argument("--nnz", type=int, default=None,
+                       help="override the workload nnz")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="override the per-metric repeat count")
+    bench.add_argument("--compare", metavar="OLD",
+                       help="compare against an older bench document; "
+                            "exit 3 on a regression verdict")
+    bench.add_argument("--against", metavar="NEW",
+                       help="with --compare: diff OLD against NEW "
+                            "without running the suite")
+    bench.add_argument("--threshold", type=float, default=5.0,
+                       help="regression threshold in percent "
+                            "(default: 5.0; the noise margin may widen it)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run one stage-profiled process-plane "
+                            "training and print the hotpath report")
+    bench.add_argument("--profile-out", metavar="FILE",
+                       help="with --profile: also write the hotpath "
+                            "report as JSON (obs-report --hotpaths)")
+    bench.add_argument("--top", type=int, default=10,
+                       help="hotpath entries to show (default: 10)")
 
     parity = sub.add_parser(
         "engine-parity",
@@ -814,6 +965,7 @@ _COMMANDS = {
     "ablate": _cmd_ablate,
     "lint": _cmd_lint,
     "obs-report": _cmd_obs_report,
+    "bench": _cmd_bench,
     "race-check": _cmd_race_check,
     "engine-parity": _cmd_engine_parity,
     "fault-smoke": _cmd_fault_smoke,

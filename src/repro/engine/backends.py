@@ -26,7 +26,7 @@ import multiprocessing as mp
 import os
 import threading
 import time
-from contextlib import ExitStack
+from contextlib import ExitStack, nullcontext
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
@@ -527,6 +527,11 @@ def _encode_push(
         push_buf.array[...] = np.nan
 
 
+def _null_stage(name: str):
+    """Disabled-profiling stand-in for WorkerStageProfiles.stage."""
+    return nullcontext()
+
+
 def _worker_main(
     worker_id: int,
     p_spec: SharedArraySpec,
@@ -548,6 +553,7 @@ def _worker_main(
     span_spec=None,
     epoch_offset: int = 0,
     faults: tuple[Fault, ...] = (),
+    profile_dir: "str | None" = None,
 ) -> None:
     """Worker process body: epochs of pull -> train -> push.
 
@@ -566,6 +572,8 @@ def _worker_main(
     completed epochs' permutation draws and fault injection
     (``faults``, this rank's slice of a
     :class:`~repro.resilience.faults.FaultPlan`) keys on global epochs.
+    ``profile_dir`` switches on per-stage cProfile accumulation; the
+    worker dumps one ``.pstats`` file per stage there before exiting.
     """
     rng = np.random.default_rng(seed + 1000 * (worker_id + 1))
     # replay: one permutation draw per completed epoch (mirrors
@@ -595,6 +603,12 @@ def _worker_main(
             from repro.obs.spans import SpanRecorder, SpanRing
 
             rec = SpanRecorder(stack.enter_context(SpanRing.attach(span_spec)))
+        prof = None
+        if profile_dir is not None:
+            from repro.obs.profile import WorkerStageProfiles
+
+            prof = WorkerStageProfiles()
+        stage_cm = prof.stage if prof is not None else _null_stage
         for epoch in range(epochs):
             global_epoch = epoch_offset + epoch
             if faults:
@@ -605,13 +619,16 @@ def _worker_main(
                 start_barrier.wait(timeout=barrier_timeout_s)
                 # pull: the worker's single per-epoch copy out of the
                 # shared pull buffer, decoded off the wire (paper 3.5)
-                q_local = channel.decode(pull_buf.array)
+                with stage_cm("pull"):
+                    q_local = channel.decode(pull_buf.array)
                 model = MFModel(p_shared.array, q_local)
-                _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
+                with stage_cm("compute"):
+                    _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
                 # push: one encode into this worker's shared push buffer
-                _encode_push(
-                    channel, model.Q, pull_buf, push_buf, faults, global_epoch
-                )
+                with stage_cm("push"):
+                    _encode_push(
+                        channel, model.Q, pull_buf, push_buf, faults, global_epoch
+                    )
                 if faults:
                     _maybe_delay(faults, global_epoch, "end")
                 progress.array[worker_id] = 2 * epoch + 2
@@ -620,13 +637,13 @@ def _worker_main(
                 t0 = time.perf_counter()
                 start_barrier.wait(timeout=barrier_timeout_s)
                 rec.record(Phase.BARRIER, epoch, t0, time.perf_counter())
-                with rec.span(Phase.PULL, epoch):
+                with rec.span(Phase.PULL, epoch), stage_cm("pull"):
                     # the same single per-epoch pull decode, timed
                     q_local = channel.decode(pull_buf.array)
                 model = MFModel(p_shared.array, q_local)
-                with rec.span(Phase.COMPUTE, epoch):
+                with rec.span(Phase.COMPUTE, epoch), stage_cm("compute"):
                     _train_shard(model, rows, cols, vals, rng, batch_size, lr, reg)
-                with rec.span(Phase.PUSH, epoch):
+                with rec.span(Phase.PUSH, epoch), stage_cm("push"):
                     _encode_push(
                         channel, model.Q, pull_buf, push_buf, faults, global_epoch
                     )
@@ -636,6 +653,8 @@ def _worker_main(
                 progress.array[worker_id] = 2 * epoch + 2
                 end_barrier.wait(timeout=barrier_timeout_s)
                 rec.record(Phase.BARRIER, epoch, t1, time.perf_counter())
+        if prof is not None:
+            prof.dump(profile_dir, worker_id)
 
 
 class ProcessBackend:
@@ -694,6 +713,9 @@ class ProcessBackend:
         #: recovery restarts (see EpochEngine)
         self.initial_model: MFModel | None = None
         self.epoch_offset = 0
+        #: worker-profile drop directory the engine sets when profiling
+        #: (EpochEngine(profile=...)); one attempt-N subdir per open
+        self.profile_dir: str | None = None
         self._procs: list = []
         self._rings: list = []
         self._attempt = -1
@@ -768,6 +790,14 @@ class ProcessBackend:
         self._attempt += 1
         if self._run_origin is None:
             self._run_origin = time.perf_counter()
+        attempt_profile_dir = None
+        if self.profile_dir is not None:
+            # one subdir per engine attempt so recovered runs keep every
+            # attempt's worker dumps (mirrors the attempt-tagged rings)
+            attempt_profile_dir = os.path.join(
+                self.profile_dir, f"attempt-{self._attempt}"
+            )
+            os.makedirs(attempt_profile_dir, exist_ok=True)
 
         # register each segment's unlink the moment it exists: if a later
         # create (or anything else) raises, the earlier segments are
@@ -832,6 +862,7 @@ class ProcessBackend:
                         self._rings[wid].spec if telemetry is not None else None,
                         self.epoch_offset,
                         self.fault_plan.for_rank(wid),
+                        attempt_profile_dir,
                     ),
                     daemon=True,
                 )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
@@ -191,6 +192,13 @@ class EpochEngine:
       resumed run continues the exact sample order of the
       straight-through run.
 
+    ``profile=`` (a :class:`~repro.obs.profile.StageProfiler`) wraps
+    every stage dispatch — the four pipeline stages plus ``evaluate`` —
+    in a per-stage cProfile scope, and points backends that support
+    worker-side profiling (``profile_dir``) at the profiler's drop
+    directory, yielding a stage-attributed hotpath report
+    (docs/observability.md).
+
     Backends run *local* epoch indices (each (re)open counts from 0)
     while the stage trace, telemetry, faults and checkpoints speak
     *global* epochs; with no resume and no failure the two coincide and
@@ -208,6 +216,7 @@ class EpochEngine:
         checkpoint_every: int = 0,
         checkpoint_path: "str | os.PathLike | None" = None,
         resume_from: "str | os.PathLike | None" = None,
+        profile=None,
     ):
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
@@ -222,6 +231,7 @@ class EpochEngine:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
         self.resume_from = resume_from
+        self.profile = profile
 
     @property
     def _resilience_active(self) -> bool:
@@ -240,6 +250,8 @@ class EpochEngine:
         trace: list[StageEvent] = []
         rmse_history: list[float] = []
         summary = ResilienceSummary() if self._resilience_active else None
+        if self.profile is not None and hasattr(self.backend, "profile_dir"):
+            self.backend.profile_dir = self.profile.worker_dir()
 
         current_plan = plan
         done = 0                       # global epochs completed so far
@@ -274,9 +286,11 @@ class EpochEngine:
                     for local in range(remaining):
                         epoch = offset + local
                         for stage in STAGES:
-                            detail = getattr(self.backend, stage)(local) or {}
+                            with self._profiled(stage):
+                                detail = getattr(self.backend, stage)(local) or {}
                             trace.append(StageEvent(epoch, stage, detail))
-                        rmse = self.backend.evaluate(local)
+                        with self._profiled("evaluate"):
+                            rmse = self.backend.evaluate(local)
                         if rmse is not None:
                             rmse_history.append(rmse)
                             if registry is not None:
@@ -334,6 +348,12 @@ class EpochEngine:
             resilience=summary,
             final_plan=current_plan,
         )
+
+    def _profiled(self, stage: str):
+        """Per-stage cProfile scope, or a no-op when profiling is off."""
+        if self.profile is None:
+            return nullcontext()
+        return self.profile.stage(stage)
 
     # -- resilience internals -------------------------------------------
     def _stage_warm_start(self, model, offset: int) -> None:

@@ -75,7 +75,7 @@ def timeline_to_trace_events(timeline: Timeline, time_unit: float = 1.0) -> list
                 "ts": span.start * time_unit * _US,
                 "dur": span.duration * time_unit * _US,
                 "cname": _COLORS.get(span.phase, _DEFAULT_COLOR),
-                "args": {"epoch": span.epoch},
+                "args": {"epoch": span.epoch, "attempt": span.attempt},
             }
         )
     return events
@@ -120,12 +120,14 @@ def timeline_from_trace_events(events: list[dict]) -> Timeline:
         tid = event.get("tid")
         start = float(event.get("ts", 0.0)) / _US
         duration = float(event.get("dur", 0.0)) / _US
+        args = event.get("args", {})
         timeline.add(
             names.get(tid, f"tid-{tid}"),
             phase,
             start,
             start + duration,
-            epoch=int(event.get("args", {}).get("epoch", 0)),
+            epoch=int(args.get("epoch", 0)),
+            attempt=int(args.get("attempt", 0)),
         )
     return timeline
 

@@ -11,7 +11,12 @@ PCM and Nsight Systems:
   structured events;
 * :mod:`repro.obs.exporters` — JSONL and Prometheus text renderers;
 * :mod:`repro.obs.drift` — measured phase times joined against the
-  Eq. 1-5 cost model, as a per-run report.
+  Eq. 1-5 cost model, as a per-run report;
+* :mod:`repro.obs.bench` — the pinned perf suite behind ``repro
+  bench``: schema-versioned ``BENCH_*.json`` documents
+  (:mod:`repro.obs.schema`) plus noise-aware regression compare;
+* :mod:`repro.obs.profile` — stage-attributed cProfile hooks
+  (``EpochEngine(profile=...)``) and the hotpath report.
 
 :class:`Telemetry` is the facade: pass one to
 ``SharedMemoryTrainer(..., telemetry=...)`` or
@@ -25,6 +30,16 @@ from __future__ import annotations
 import os
 
 from repro.hardware.timeline import Timeline
+from repro.obs.bench import (
+    BenchConfig,
+    CompareReport,
+    MetricResult,
+    compare_docs,
+    host_fingerprint,
+    load_bench,
+    run_suite,
+    write_bench,
+)
 from repro.obs.drift import (
     DriftReport,
     DriftRow,
@@ -47,6 +62,8 @@ from repro.obs.registry import (
     MetricsRegistry,
     Sample,
 )
+from repro.obs.profile import StageProfileReport, StageProfiler
+from repro.obs.schema import BENCH_SCHEMA_VERSION, validate_bench
 from repro.obs.spans import (
     SpanRecord,
     SpanRecorder,
@@ -78,6 +95,18 @@ __all__ = [
     "read_metrics_jsonl",
     "prometheus_text",
     "write_prometheus",
+    "BenchConfig",
+    "MetricResult",
+    "CompareReport",
+    "run_suite",
+    "write_bench",
+    "load_bench",
+    "compare_docs",
+    "host_fingerprint",
+    "BENCH_SCHEMA_VERSION",
+    "validate_bench",
+    "StageProfiler",
+    "StageProfileReport",
 ]
 
 

@@ -67,10 +67,32 @@ def read_metrics_jsonl(path: str | os.PathLike) -> tuple[list[dict], list[dict]]
 # ---------------------------------------------------------------------------
 # Prometheus text exposition
 # ---------------------------------------------------------------------------
+def _escape_label_value(value: object) -> str:
+    """Escape a label value per the exposition format spec.
+
+    Inside label values, backslash, double-quote and newline must be
+    escaped (in that order — escaping ``\\`` first keeps the other two
+    escapes unambiguous); anything else passes through raw.
+    """
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text allows ``\\`` and newline escapes (quotes stay raw)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _format_labels(sample: Sample) -> str:
     if not sample.labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sample.labels)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sample.labels
+    )
     return "{" + inner + "}"
 
 
@@ -79,7 +101,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for metric in registry.metrics():
         if metric.help:
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         for sample in metric.samples():
             value = sample.value

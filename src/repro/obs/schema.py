@@ -1,0 +1,154 @@
+"""The BENCH_*.json document schema and its dependency-free validator.
+
+Every ``repro bench`` run emits one schema-versioned JSON document so
+perf numbers stay machine-comparable across PRs: a later run can be
+diffed against an earlier file (``repro bench --compare``) only if both
+sides agree on what the fields mean.  The schema is expressed as the
+JSON-Schema subset this repo actually needs (``type`` / ``required`` /
+``properties`` / ``items`` / ``enum`` / ``minimum``), and
+:func:`validate_bench` walks it without any third-party dependency so
+the CI gate can validate artifacts on minimal containers.
+
+Version history
+---------------
+1. initial layout: ``schema_version`` / ``suite`` / ``provenance`` /
+   ``host`` / ``metrics[]`` with per-metric repeats and mean/stdev/min.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: bump on any incompatible change to the document layout
+BENCH_SCHEMA_VERSION = 1
+
+#: metric direction: how --compare decides which way "worse" points
+METRIC_KINDS = ("throughput", "time")
+
+BENCH_SCHEMA: dict = {
+    "type": "object",
+    "required": ["schema_version", "suite", "provenance", "host", "metrics"],
+    "properties": {
+        "schema_version": {"type": "integer", "minimum": 1},
+        "suite": {"type": "string"},
+        "provenance": {
+            "type": "object",
+            "required": ["git_sha", "timestamp_utc", "config"],
+            "properties": {
+                "git_sha": {"type": "string"},
+                "timestamp_utc": {"type": "string"},
+                "quick": {"type": "boolean"},
+                "config": {"type": "object"},
+            },
+        },
+        "host": {
+            "type": "object",
+            "required": ["cpu_count", "python", "platform", "numpy"],
+            "properties": {
+                "cpu_count": {"type": "integer", "minimum": 1},
+                "python": {"type": "string"},
+                "platform": {"type": "string"},
+                "numpy": {"type": "string"},
+                "blas": {"type": "string"},
+            },
+        },
+        "metrics": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "unit", "kind", "repeats", "mean",
+                             "stdev", "min"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "unit": {"type": "string"},
+                    "kind": {"type": "string", "enum": list(METRIC_KINDS)},
+                    "repeats": {
+                        "type": "array",
+                        "items": {"type": "number", "minimum": 0},
+                    },
+                    "mean": {"type": "number", "minimum": 0},
+                    "stdev": {"type": "number", "minimum": 0},
+                    "min": {"type": "number", "minimum": 0},
+                    "max": {"type": "number", "minimum": 0},
+                    "meta": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in python; a schema "integer"/"number"
+    # must still reject True/False or quick=1 would validate as a flag
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def _walk(value: Any, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None and not _TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value!r} below minimum {schema['minimum']}")
+    if expected == "object":
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                _walk(value[key], sub, f"{path}.{key}", errors)
+    elif expected == "array" and "items" in schema:
+        for i, item in enumerate(value):
+            _walk(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_bench(doc: Any) -> list[str]:
+    """Validate a bench document against :data:`BENCH_SCHEMA`.
+
+    Returns a list of human-readable problems — empty means valid.
+    Beyond the structural walk, cross-field invariants are checked:
+    the version must be one this code understands, metric names must be
+    unique, and each metric's mean/min must be consistent with its
+    recorded repeats.
+    """
+    errors: list[str] = []
+    _walk(doc, BENCH_SCHEMA, "$", errors)
+    if errors:
+        return errors
+    if doc["schema_version"] != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"$.schema_version: {doc['schema_version']} is not the supported "
+            f"version {BENCH_SCHEMA_VERSION}"
+        )
+    seen: set[str] = set()
+    for i, metric in enumerate(doc["metrics"]):
+        name = metric["name"]
+        if name in seen:
+            errors.append(f"$.metrics[{i}]: duplicate metric name {name!r}")
+        seen.add(name)
+        repeats = metric["repeats"]
+        if not repeats:
+            errors.append(f"$.metrics[{i}] ({name}): no repeats recorded")
+            continue
+        lo = min(repeats)
+        if abs(metric["min"] - lo) > 1e-9 * max(lo, 1.0):
+            errors.append(
+                f"$.metrics[{i}] ({name}): min {metric['min']} does not "
+                f"match repeats (expected {lo})"
+            )
+        mean = sum(repeats) / len(repeats)
+        if abs(metric["mean"] - mean) > 1e-9 * max(mean, 1.0):
+            errors.append(
+                f"$.metrics[{i}] ({name}): mean {metric['mean']} does not "
+                f"match repeats (expected {mean})"
+            )
+    return errors

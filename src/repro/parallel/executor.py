@@ -97,6 +97,7 @@ class SharedMemoryTrainer:
         checkpoint_every: int = 0,
         checkpoint_path: "str | os.PathLike | None" = None,
         resume_from: "str | os.PathLike | None" = None,
+        profile=None,
     ):
         # imported lazily to avoid a module-level cycle with
         # repro.engine.backends (which maps repro.parallel.shm segments)
@@ -152,6 +153,9 @@ class SharedMemoryTrainer:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
         self.resume_from = resume_from
+        #: opt-in stage-attributed profiling hook
+        #: (a :class:`repro.obs.profile.StageProfiler`)
+        self.profile = profile
 
     def train(self, epochs: int = 5) -> ParallelTrainResult:
         from repro.engine import EpochEngine, ProcessBackend
@@ -179,6 +183,7 @@ class SharedMemoryTrainer:
             checkpoint_every=self.checkpoint_every,
             checkpoint_path=self.checkpoint_path,
             resume_from=self.resume_from,
+            profile=self.profile,
         )
         t0 = time.perf_counter()
         result = engine.run(epochs)

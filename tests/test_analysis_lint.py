@@ -547,6 +547,39 @@ class TestWallClock:
         src = "import time\nt = time.time()\n"
         assert issues_for(src, path=NEUTRAL, rule="wall-clock") == []
 
+    def test_monotonic_flagged_as_second_time_base(self):
+        # time.monotonic() is monotonic but a *different* base than
+        # perf_counter; mixing bases misaligns cross-process spans
+        src = """
+        import time
+
+        def stamp():
+            return time.monotonic()
+        """
+        issues = issues_for(src, path=self.TIMING, rule="wall-clock")
+        assert len(issues) == 1
+        assert "perf_counter" in issues[0].message
+
+    def test_bench_module_is_timing(self):
+        src = "import time\nt = time.time()\n"
+        assert len(
+            issues_for(src, path="src/repro/obs/bench.py", rule="wall-clock")
+        ) == 1
+
+    def test_profile_module_is_timing(self):
+        src = "import time\nt = time.monotonic()\n"
+        assert len(
+            issues_for(src, path="src/repro/obs/profile.py", rule="wall-clock")
+        ) == 1
+
+    def test_bench_module_named_beyond_prefix(self):
+        # the explicit TIMING_MODULES entries must keep the rule alive
+        # even if the files leave the repro/obs/ prefix someday
+        from repro.analysis.hotpath import TIMING_MODULES
+
+        assert "repro/obs/bench.py" in TIMING_MODULES
+        assert "repro/obs/profile.py" in TIMING_MODULES
+
     def test_suppression(self):
         src = """
         import time

@@ -251,6 +251,86 @@ class TestObservabilityCli:
         assert main(["obs-report", "--trace", str(tmp_path / "no.json")]) == 2
         assert capsys.readouterr().err
 
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.out == "BENCH_train.json"
+        assert args.quick is False
+        assert args.threshold == pytest.approx(5.0)
+        assert args.suites == "kernel,epoch,wire"
+
+    def test_bench_quick_wire_suite_writes_valid_document(
+        self, capsys, tmp_path
+    ):
+        from repro.obs.schema import validate_bench
+
+        out = tmp_path / "BENCH_train.json"
+        assert main([
+            "bench", "--quick", "--suites", "wire", "--out", str(out),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert validate_bench(json.loads(out.read_text())) == []
+
+    def test_bench_unknown_suite(self, capsys):
+        assert main(["bench", "--suites", "gpu"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_bench_self_compare_passes(self, capsys, tmp_path):
+        out = tmp_path / "b.json"
+        assert main([
+            "bench", "--quick", "--suites", "wire", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "bench", "--compare", str(out), "--against", str(out),
+        ]) == 0
+        assert "compare: OK" in capsys.readouterr().out
+
+    def test_bench_compare_detects_injected_regression(
+        self, capsys, tmp_path
+    ):
+        out = tmp_path / "b.json"
+        assert main([
+            "bench", "--quick", "--suites", "wire", "--out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        for metric in doc["metrics"]:
+            # halve every throughput: unambiguous regression
+            metric["repeats"] = [r / 2 for r in metric["repeats"]]
+            for key in ("mean", "stdev", "min", "max"):
+                metric[key] = metric[key] / 2
+        slowed = tmp_path / "slowed.json"
+        slowed.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main([
+            "bench", "--compare", str(out), "--against", str(slowed),
+        ]) == 3
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_compare_missing_file(self, capsys, tmp_path):
+        assert main([
+            "bench", "--compare", str(tmp_path / "no.json"),
+            "--against", str(tmp_path / "no.json"),
+        ]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_bench_profile_and_hotpaths_report(self, capsys, tmp_path):
+        hotpaths = tmp_path / "hp.json"
+        assert main([
+            "bench", "--profile", "--quick", "--nnz", "2000",
+            "--profile-out", str(hotpaths), "--top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "attributed to engine stages" in out
+        assert "compute" in out
+        assert main(["obs-report", "--hotpaths", str(hotpaths)]) == 0
+        assert "hotpaths:" in capsys.readouterr().out
+
+    def test_obs_report_bad_hotpaths_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"schema\": \"other\"}")
+        assert main(["obs-report", "--hotpaths", str(bad)]) == 2
+        assert "cannot read hotpaths" in capsys.readouterr().err
+
     def test_fault_smoke_parser_defaults(self):
         args = build_parser().parse_args(["fault-smoke"])
         assert args.workers == 3

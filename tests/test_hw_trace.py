@@ -105,6 +105,55 @@ class TestImport:
         assert got.start == pytest.approx(orig.start)
         assert got.end == pytest.approx(orig.end)
 
+    def test_full_round_trip_reconstructs_equivalent_timeline(self, tmp_path):
+        """export_chrome_trace -> import_chrome_trace must reconstruct
+        every span's worker, phase, epoch, attempt and duration."""
+        tl = Timeline()
+        tl.add("worker-0", Phase.PULL, 0.00, 0.05, epoch=0)
+        tl.add("worker-0", Phase.COMPUTE, 0.05, 0.80, epoch=0)
+        tl.add("worker-0", Phase.PUSH, 0.80, 0.90, epoch=0)
+        tl.add("worker-1", Phase.BARRIER, 0.00, 0.02, epoch=0)
+        tl.add("worker-1", Phase.COMPUTE, 0.02, 0.70, epoch=0)
+        tl.add("server", Phase.SYNC, 0.90, 0.95, epoch=0)
+        tl.add("server", Phase.EVAL, 0.95, 1.00, epoch=0)
+        tl.add("worker-0", Phase.COMPUTE, 1.00, 1.60, epoch=1, attempt=1)
+        path = tmp_path / "trace.json"
+        export_chrome_trace(tl, path)
+        back = import_chrome_trace(path)
+
+        def signature(timeline):
+            return sorted(
+                (s.worker, s.phase.value, s.epoch, s.attempt,
+                 round(s.start, 9), round(s.duration, 9))
+                for s in timeline.spans
+            )
+
+        assert signature(back) == signature(tl)
+        assert back.workers() == tl.workers()
+        for worker in tl.workers():
+            got = back.phase_totals(worker)
+            for phase, total in tl.phase_totals(worker).items():
+                assert got[phase] == pytest.approx(total)
+
+    def test_attempt_tag_survives_round_trip(self, tmp_path):
+        tl = Timeline()
+        tl.add("w", Phase.COMPUTE, 0.0, 1.0, epoch=0, attempt=2)
+        path = tmp_path / "trace.json"
+        export_chrome_trace(tl, path)
+        back = import_chrome_trace(path)
+        assert back.spans[0].attempt == 2
+
+    def test_legacy_trace_without_attempt_defaults_to_zero(self):
+        events = [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "w"}},
+            {"name": "pull", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0,
+             "dur": 1e6, "args": {"epoch": 3}},
+        ]
+        tl = timeline_from_trace_events(events)
+        assert tl.spans[0].epoch == 3
+        assert tl.spans[0].attempt == 0
+
     def test_foreign_slices_skipped(self):
         events = [
             {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1, "args": {"name": "w"}},

@@ -161,6 +161,29 @@ class TestPrometheusExport:
         assert 'h_bucket{le="+Inf"} 1' in text
         assert "h_count 1" in text
 
+    def test_label_values_escaped_per_exposition_spec(self, registry):
+        # backslash, double-quote and newline in a label value must be
+        # escaped or the exposition text is unparseable
+        registry.counter("c").inc(1, path='dir\\file "x"\nnext')
+        text = prometheus_text(registry)
+        assert r'c{path="dir\\file \"x\"\nnext"} 1' in text
+        assert "\n".join(text.splitlines()) + "\n" == text  # no raw breaks mid-line
+
+    def test_backslash_escaped_before_quote(self, registry):
+        # a value ending in backslash-quote must not collapse into an
+        # escaped quote (escape order matters)
+        registry.gauge("g").set(1, v='\\"')
+        assert r'g{v="\\\""} 1' in prometheus_text(registry)
+
+    def test_help_text_escapes_newline_and_backslash(self, registry):
+        registry.counter("c", "line1\nline2\\tail").inc()
+        text = prometheus_text(registry)
+        assert r"# HELP c line1\nline2\\tail" in text
+
+    def test_clean_labels_unchanged(self, registry):
+        registry.counter("c").inc(2, worker="w0")
+        assert 'c{worker="w0"} 2' in prometheus_text(registry)
+
     def test_write_prometheus(self, registry, tmp_path):
         registry.gauge("g").set(2.5)
         path = tmp_path / "m.prom"
