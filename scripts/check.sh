@@ -129,6 +129,17 @@ bench_smoke() {
 }
 stage test "bench-smoke" bench_smoke
 
+# 2e'. serve-smoke: the serving plane's load-generation suite at smoke
+# sizes must emit a schema-valid BENCH_serving document and self-compare
+# clean (docs/serving.md).  Writes BENCH_serving_smoke.json, not the
+# committed full-suite BENCH_serving.json baseline; CI uploads both.
+serve_smoke() {
+    python -m repro serve-bench --quick --out BENCH_serving_smoke.json \
+        && python -m repro serve-bench --compare BENCH_serving_smoke.json \
+            --against BENCH_serving_smoke.json > /dev/null
+}
+stage test "serve-smoke" serve_smoke
+
 # 2f. chaos-parity: a small seeded fault matrix through both planes —
 # one scenario cross-plane, the rest sim-only invariants — plus a
 # randomized sim-only sweep (docs/resilience.md)

@@ -72,7 +72,8 @@ PQ_OWNER_MODULES = frozenset(
 #: are wrong: they jump under NTP slew, so spans can end before they
 #: start and cross-process timelines misalign.  ``time.perf_counter``
 #: is the system-wide monotonic base every span and probe must share.
-TIMING_MODULE_PREFIXES = ("repro/obs/",)
+# the serving plane measures request latency, so it shares the base
+TIMING_MODULE_PREFIXES = ("repro/obs/", "repro/serving/")
 TIMING_MODULES = frozenset(
     {
         "repro/hardware/profiler.py",

@@ -26,11 +26,19 @@ Commands
     ``--metrics`` / ``--hotpaths`` artifacts (ASCII Gantt, phase
     totals, metric values, stage-attributed hotpath table).
 ``bench``
-    Run the pinned perf suite (kernel updates/sec, epoch time on both
-    planes, channel wire bytes/sec), emit a schema-versioned
+    Run perf suites from the extensible suite registry (pinned train
+    sections kernel/epoch/wire by default; registered extensions like
+    ``serving`` via ``--suites``), emit a schema-versioned
     ``BENCH_train.json``, compare against an older document with
     noise-aware regression verdicts (exit code 3 on regression), or
     profile a run per engine stage (``--profile``).
+``serve-bench``
+    Run the serving plane's load-generation suite (batched top-k over a
+    checkpoint snapshot) and emit ``BENCH_serving.json`` with p50/p99
+    latency and QPS; optionally check a declared SLO (exit 1 on
+    violation) and ``--compare`` against an older serving document
+    (exit 3 on regression), using the same schema + compare machinery
+    as ``bench``.
 ``race-check``
     Prove the P-row ownership and one-copy buffer invariants with the
     dynamic race detector (DP0/DP1/DP2 plans, optional injected bug).
@@ -306,9 +314,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """The pinned perf suite: run / compare / profile."""
     from repro.obs.bench import (
         EXIT_REGRESSION,
-        SUITES,
         BenchConfig,
         BenchValidationError,
+        available_suites,
         compare_docs,
         load_bench,
         run_suite,
@@ -316,10 +324,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     suites = tuple(s for s in args.suites.split(",") if s)
-    unknown = set(suites) - set(SUITES)
+    unknown = set(suites) - set(available_suites())
     if unknown:
         print(f"unknown suite(s) {sorted(unknown)}; "
-              f"available: {list(SUITES)}", file=sys.stderr)
+              f"available: {list(available_suites())}", file=sys.stderr)
         return 2
 
     if args.compare and args.against:
@@ -730,6 +738,93 @@ def _cmd_chaos_parity(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """The serving perf suite: load-generate, SLO-check, compare."""
+    from repro.obs.bench import (
+        EXIT_REGRESSION,
+        BenchConfig,
+        BenchValidationError,
+        compare_docs,
+        load_bench,
+        write_bench,
+    )
+    from repro.serving.bench import ServingBenchConfig, run_serving_suite
+    from repro.serving.loadgen import SLO
+
+    if args.compare and args.against:
+        # pure file-vs-file compare: no suite run
+        try:
+            old = load_bench(args.compare)
+            new = load_bench(args.against)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load bench document: {exc}", file=sys.stderr)
+            return 2
+        report = compare_docs(old, new, threshold_pct=args.threshold)
+        print(report.render())
+        return 0 if report.ok else EXIT_REGRESSION
+
+    overrides = {}
+    if args.nnz is not None:
+        overrides["nnz"] = args.nnz
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    config = (
+        BenchConfig.quick_config(**overrides)
+        if args.quick
+        else BenchConfig(**overrides)
+    )
+    base = ServingBenchConfig.from_bench(config)
+    try:
+        serving = ServingBenchConfig(
+            requests=args.requests if args.requests is not None else base.requests,
+            batch_size=args.batch if args.batch is not None else base.batch_size,
+            topk=args.topk if args.topk is not None else base.topk,
+            mode=args.mode if args.mode is not None else base.mode,
+            concurrency=(
+                args.concurrency if args.concurrency is not None
+                else base.concurrency
+            ),
+            rate_qps=args.rate if args.rate is not None else base.rate_qps,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    slo = SLO(p50_ms=args.slo_p50_ms, p99_ms=args.slo_p99_ms,
+              min_qps=args.slo_min_qps)
+
+    doc = run_serving_suite(config, serving=serving, slo=slo, log=print)
+    try:
+        write_bench(doc, args.out)
+    except BenchValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"wrote {args.out} ({len(doc['metrics'])} metrics, "
+          f"git {doc['provenance']['git_sha'][:12]})")
+    for metric in doc["metrics"]:
+        print(f"  {metric['name']:28s} {metric['mean']:>12.4f} {metric['unit']}")
+
+    slo_failed = False
+    if "slo" in doc:
+        if doc["slo"]["ok"]:
+            print("SLO: all declared targets met")
+        else:
+            slo_failed = True
+            for violation in doc["slo"]["violations"]:
+                print(f"SLO VIOLATED: {violation}")
+
+    if args.compare:
+        try:
+            old = load_bench(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load bench document: {exc}", file=sys.stderr)
+            return 2
+        report = compare_docs(old, doc, threshold_pct=args.threshold)
+        print(report.render())
+        if not report.ok:
+            return EXIT_REGRESSION
+    return 1 if slo_failed else 0
+
+
 def _cmd_race_check(args: argparse.Namespace) -> int:
     from repro.analysis.race import race_check
 
@@ -866,13 +961,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--suites", default=",".join(
                            ("kernel", "epoch", "wire")),
                        help="comma-separated suite sections to run "
-                            "(default: kernel,epoch,wire)")
+                            "(default: kernel,epoch,wire; the registry is "
+                            "extensible — registered extensions such as "
+                            "'serving' also work here)")
     bench.add_argument("--nnz", type=int, default=None,
                        help="override the workload nnz")
     bench.add_argument("--repeats", type=int, default=None,
                        help="override the per-metric repeat count")
     bench.add_argument("--compare", metavar="OLD",
-                       help="compare against an older bench document; "
+                       help="compare against an older bench document from "
+                            "any registered suite (train, serving, ...); "
                             "exit 3 on a regression verdict")
     bench.add_argument("--against", metavar="NEW",
                        help="with --compare: diff OLD against NEW "
@@ -888,6 +986,49 @@ def build_parser() -> argparse.ArgumentParser:
                             "report as JSON (obs-report --hotpaths)")
     bench.add_argument("--top", type=int, default=10,
                        help="hotpath entries to show (default: 10)")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="run the serving load-generation suite / compare "
+             "BENCH_serving documents",
+    )
+    serve.add_argument("--out", default="BENCH_serving.json", metavar="FILE",
+                       help="where to write the serving bench document "
+                            "(default: BENCH_serving.json)")
+    serve.add_argument("--quick", action="store_true",
+                       help="CI smoke sizes: tiny model, few requests "
+                            "(numbers are not cross-PR comparable)")
+    serve.add_argument("--nnz", type=int, default=None,
+                       help="override the fixture workload nnz")
+    serve.add_argument("--repeats", type=int, default=None,
+                       help="override the per-metric repeat count")
+    serve.add_argument("--requests", type=int, default=None,
+                       help="requests per load-generation run")
+    serve.add_argument("--batch", type=int, default=None,
+                       help="users per request batch")
+    serve.add_argument("--topk", type=int, default=None,
+                       help="items returned per user (default: 10)")
+    serve.add_argument("--mode", choices=["closed", "poisson"], default=None,
+                       help="arrival process (default: closed)")
+    serve.add_argument("--concurrency", type=int, default=None,
+                       help="closed-mode concurrent clients")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="poisson-mode mean arrival rate in qps")
+    serve.add_argument("--slo-p50-ms", type=float, default=None,
+                       help="declared p50 latency target; exit 1 if exceeded")
+    serve.add_argument("--slo-p99-ms", type=float, default=None,
+                       help="declared p99 latency target; exit 1 if exceeded")
+    serve.add_argument("--slo-min-qps", type=float, default=None,
+                       help="declared throughput floor; exit 1 if missed")
+    serve.add_argument("--compare", metavar="OLD",
+                       help="compare against an older serving document; "
+                            "exit 3 on a regression verdict")
+    serve.add_argument("--against", metavar="NEW",
+                       help="with --compare: diff OLD against NEW "
+                            "without running the suite")
+    serve.add_argument("--threshold", type=float, default=5.0,
+                       help="regression threshold in percent "
+                            "(default: 5.0; the noise margin may widen it)")
 
     parity = sub.add_parser(
         "engine-parity",
@@ -966,6 +1107,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "obs-report": _cmd_obs_report,
     "bench": _cmd_bench,
+    "serve-bench": _cmd_serve_bench,
     "race-check": _cmd_race_check,
     "engine-parity": _cmd_engine_parity,
     "fault-smoke": _cmd_fault_smoke,

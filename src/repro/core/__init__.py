@@ -36,7 +36,14 @@ from repro.core.server import ParameterServer
 from repro.core.worker import WorkerRuntime
 from repro.core.framework import HCCMF, TrainResult
 from repro.core.autotune import autotune, tuned_config, TunedConfig, TuningReport
-from repro.core.checkpoint import Checkpoint, save_checkpoint, load_checkpoint, resume_hogwild
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointVersionError,
+    save_checkpoint,
+    load_checkpoint,
+    read_checkpoint_meta,
+    resume_hogwild,
+)
 from repro.core.adaptive import AdaptiveRepartitioner, SlowdownEvent, simulate_adaptive_run, AdaptiveRunResult
 from repro.core.convergence import epochs_to_target, time_to_target, speedup_at_target, fit_exponential, ExponentialFit
 from repro.core.theorem import equalizing_partition, makespan, verify_theorem1, Theorem1Report
@@ -75,8 +82,10 @@ __all__ = [
     "TunedConfig",
     "TuningReport",
     "Checkpoint",
+    "CheckpointVersionError",
     "save_checkpoint",
     "load_checkpoint",
+    "read_checkpoint_meta",
     "resume_hogwild",
     "AdaptiveRepartitioner",
     "SlowdownEvent",

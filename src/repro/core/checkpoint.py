@@ -21,6 +21,24 @@ from repro.mf.model import MFModel
 CHECKPOINT_VERSION = 1
 
 
+class CheckpointVersionError(ValueError):
+    """A checkpoint was written by an incompatible format version.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    recovery paths keep working; the serving plane catches this type to
+    classify a failed hot-swap as ``version-mismatch`` rather than a
+    generic corrupt file.
+    """
+
+    def __init__(self, path: Path, found: object):
+        self.path = path
+        self.found = found
+        super().__init__(
+            f"checkpoint at {path} was written as format version {found}, "
+            f"but this build reads version {CHECKPOINT_VERSION}"
+        )
+
+
 @dataclass
 class Checkpoint:
     """A saved training state."""
@@ -82,23 +100,42 @@ def save_checkpoint(ckpt: Checkpoint, path: str | os.PathLike) -> None:
     )
 
 
-def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
-    """Read a checkpoint pair back; validates version and shapes."""
+def read_checkpoint_meta(path: str | os.PathLike) -> dict:
+    """Read only the JSON sidecar: a cheap version/shape peek.
+
+    The serving plane polls candidate checkpoints before committing to a
+    full factor load, so the read side needs a way to reject a
+    wrong-version or incomplete checkpoint without touching the NPZ.
+    Raises :class:`FileNotFoundError` on a missing pair and
+    :class:`CheckpointVersionError` on a format-version mismatch.
+    """
     npz_path, json_path = _paths(path)
     if not npz_path.exists() or not json_path.exists():
         raise FileNotFoundError(f"incomplete checkpoint at {npz_path.with_suffix('')}")
     meta = json.loads(json_path.read_text())
     if meta.get("version") != CHECKPOINT_VERSION:
-        raise ValueError(
-            f"checkpoint at {json_path} was written as format version "
-            f"{meta.get('version')}, but this build reads version "
-            f"{CHECKPOINT_VERSION}"
-        )
+        raise CheckpointVersionError(json_path, meta.get("version"))
+    return meta
+
+
+def load_checkpoint(path: str | os.PathLike, readonly: bool = False) -> Checkpoint:
+    """Read a checkpoint pair back; validates version and shapes.
+
+    With ``readonly=True`` the loaded factor matrices are frozen
+    (``writeable=False``) — the read side's aliasing guarantee for the
+    serving plane, where one snapshot is shared by many reader threads
+    and a stray in-place write would tear every concurrent response.
+    """
+    npz_path, json_path = _paths(path)
+    meta = read_checkpoint_meta(path)
     with np.load(npz_path) as data:
         model = MFModel(data["P"], data["Q"])
     shape = meta.get("shape", {})
     if shape and (model.m, model.n, model.k) != (shape["m"], shape["n"], shape["k"]):
         raise ValueError("checkpoint metadata disagrees with stored factors")
+    if readonly:
+        model.P.flags.writeable = False
+        model.Q.flags.writeable = False
     return Checkpoint(
         model=model,
         epoch=int(meta["epoch"]),

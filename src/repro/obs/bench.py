@@ -43,7 +43,10 @@ import numpy as np
 
 from repro.obs.schema import BENCH_SCHEMA_VERSION, validate_bench
 
-#: suite sections in pinned emission order
+#: the pinned *training* suite sections, in emission order.  The suite
+#: registry itself is extensible — see :func:`register_suite` — and the
+#: serving plane registers a fourth section ("serving") on import, so
+#: ``repro bench --suites serving`` works through the same machinery.
 SUITES = ("kernel", "epoch", "wire")
 
 #: CLI exit code for "--compare found a regression" — distinct from 0
@@ -359,30 +362,52 @@ _SECTIONS: dict[str, Callable[[BenchConfig], list[MetricResult]]] = {
 }
 
 
+def register_suite(
+    name: str, section: Callable[[BenchConfig], list[MetricResult]]
+) -> None:
+    """Add a suite section to the registry (other planes extend it here).
+
+    A section is any ``BenchConfig -> list[MetricResult]`` callable;
+    once registered it runs through the same driver, document schema,
+    and ``--compare`` verdicts as the pinned train sections.  Names are
+    single CLI tokens and register exactly once.
+    """
+    if not name or "," in name or name != name.strip():
+        raise ValueError(f"invalid suite name {name!r}")
+    if name in _SECTIONS:
+        raise ValueError(f"suite {name!r} is already registered")
+    _SECTIONS[name] = section
+
+
+def _ensure_extension_suites() -> None:
+    # in-repo planes that extend the registry do so at import time; the
+    # import is lazy so repro.obs stays importable on its own
+    import repro.serving.bench  # noqa: F401
+
+
+def available_suites() -> tuple[str, ...]:
+    """Every registered suite section, pinned train sections first."""
+    _ensure_extension_suites()
+    return tuple(_SECTIONS)
+
+
 # ---------------------------------------------------------------------------
 # suite driver + document IO
 # ---------------------------------------------------------------------------
-def run_suite(
-    config: BenchConfig | None = None,
-    suites: Iterable[str] = SUITES,
-    log: Callable[[str], None] | None = None,
+def make_document(
+    metrics: Sequence[MetricResult],
+    config: BenchConfig,
+    suite: str = "train",
 ) -> dict:
-    """Run the pinned suite and return the BENCH document (a dict)."""
-    config = config if config is not None else BenchConfig()
-    names = list(suites)
-    unknown = set(names) - set(_SECTIONS)
-    if unknown:
-        raise ValueError(
-            f"unknown suites {sorted(unknown)}; available: {list(_SECTIONS)}"
-        )
-    metrics: list[MetricResult] = []
-    for name in names:
-        if log is not None:
-            log(f"suite {name}: running ({config.repeats} repeat(s))")
-        metrics.extend(_SECTIONS[name](config))
+    """Assemble one schema-versioned BENCH document around ``metrics``.
+
+    Shared by every suite kind (train, serving, ...) so provenance and
+    host fingerprinting stay uniform and ``compare_docs`` works across
+    all of them.
+    """
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
-        "suite": "train",
+        "suite": suite,
         "provenance": {
             "git_sha": _git_sha(),
             # provenance records *when*, not a duration: the one place
@@ -394,6 +419,29 @@ def run_suite(
         "host": host_fingerprint(),
         "metrics": [m.to_dict() for m in metrics],
     }
+
+
+def run_suite(
+    config: BenchConfig | None = None,
+    suites: Iterable[str] = SUITES,
+    log: Callable[[str], None] | None = None,
+    suite_label: str = "train",
+) -> dict:
+    """Run the named suite sections and return the BENCH document."""
+    config = config if config is not None else BenchConfig()
+    _ensure_extension_suites()
+    names = list(suites)
+    unknown = set(names) - set(_SECTIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown suites {sorted(unknown)}; available: {list(_SECTIONS)}"
+        )
+    metrics: list[MetricResult] = []
+    for name in names:
+        if log is not None:
+            log(f"suite {name}: running ({config.repeats} repeat(s))")
+        metrics.extend(_SECTIONS[name](config))
+    return make_document(metrics, config, suite=suite_label)
 
 
 def write_bench(doc: dict, path: str | os.PathLike) -> None:

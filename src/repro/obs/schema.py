@@ -13,6 +13,11 @@ Version history
 ---------------
 1. initial layout: ``schema_version`` / ``suite`` / ``provenance`` /
    ``host`` / ``metrics[]`` with per-metric repeats and mean/stdev/min.
+   Later (additively, so still version 1): the ``suite`` field grew a
+   second producer (``"serving"`` documents from ``repro serve-bench``
+   next to ``"train"``) and an optional top-level ``slo`` object —
+   declared latency/throughput targets plus measured values and
+   verdicts, emitted only when an SLO was declared for the run.
 """
 
 from __future__ import annotations
@@ -39,6 +44,21 @@ BENCH_SCHEMA: dict = {
                 "timestamp_utc": {"type": "string"},
                 "quick": {"type": "boolean"},
                 "config": {"type": "object"},
+            },
+        },
+        # optional: declared SLO targets + measured values/verdicts for
+        # serving-suite documents (absent when no SLO was declared)
+        "slo": {
+            "type": "object",
+            "required": ["targets", "measured", "ok"],
+            "properties": {
+                "targets": {"type": "object"},
+                "measured": {"type": "object"},
+                "ok": {"type": "boolean"},
+                "violations": {
+                    "type": "array",
+                    "items": {"type": "string"},
+                },
             },
         },
         "host": {

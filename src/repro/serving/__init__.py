@@ -1,0 +1,65 @@
+"""repro.serving — the serving plane: top-k queries over trained models.
+
+Training produces checkpoints; this package turns them into a service
+(the north star's "millions of users under heavy traffic" read path):
+
+* :mod:`repro.serving.store` — :class:`ModelStore` loads
+  :mod:`repro.core.checkpoint` checkpoints and atomically hot-swaps
+  snapshots under live traffic; readers always see one consistent
+  ``(P, Q, version)`` triple, and a failed swap degrades to the last
+  good snapshot (counted as ``serving_swap_failed``), never a crash;
+* :mod:`repro.serving.scorer` — :class:`Scorer` answers batched top-k
+  queries by vectorized P·Qᵀ with exclude-seen masks, allow-list
+  candidates, per-request k, deterministic tie-breaking, and an
+  optional FP16-precision path matching the wire codec's semantics;
+* :mod:`repro.serving.loadgen` — closed-loop / Poisson load generation
+  measuring p50/p99 latency and QPS against a declared :class:`SLO`;
+* :mod:`repro.serving.bench` — the ``repro serve-bench`` suite emitting
+  schema-validated ``BENCH_serving.json`` documents that compare (and
+  regress-gate) exactly like ``BENCH_train.json``.
+
+See docs/serving.md for the architecture and the SLO methodology.
+"""
+
+from repro.serving.bench import (
+    ServingBenchConfig,
+    run_serving_suite,
+    serving_metrics,
+    slo_block,
+)
+from repro.serving.loadgen import (
+    MODES,
+    SLO,
+    LoadGenConfig,
+    LoadReport,
+    run_loadgen,
+)
+from repro.serving.scorer import PRECISIONS, Scorer, SeenIndex, TopKResult
+from repro.serving.store import (
+    SWAP_FAILURE_REASONS,
+    ModelSnapshot,
+    ModelStore,
+    ServingError,
+    SwapResult,
+)
+
+__all__ = [
+    "MODES",
+    "PRECISIONS",
+    "SLO",
+    "SWAP_FAILURE_REASONS",
+    "LoadGenConfig",
+    "LoadReport",
+    "ModelSnapshot",
+    "ModelStore",
+    "Scorer",
+    "SeenIndex",
+    "ServingBenchConfig",
+    "ServingError",
+    "SwapResult",
+    "TopKResult",
+    "run_loadgen",
+    "run_serving_suite",
+    "serving_metrics",
+    "slo_block",
+]

@@ -1,0 +1,196 @@
+"""The serving perf suite behind ``repro serve-bench``.
+
+Emits one ``BENCH_serving.json`` through the same schema, provenance,
+and :func:`~repro.obs.bench.compare_docs` machinery as the training
+suite, so serving regressions gate in CI exactly like training
+regressions (exit code 3 from ``--compare``).  Metrics per run:
+
+* ``serving/topk/p50_ms`` / ``serving/topk/p99_ms`` — request latency
+  percentiles from a closed-loop load generation run over the pinned
+  Netflix-shaped workload (exclude-seen filtering on, so the measured
+  path is the realistic one);
+* ``serving/topk/qps`` — sustained closed-loop throughput;
+* ``serving/topk[fp16]/p50_ms`` / ``serving/topk[fp16]/qps`` — the
+  FP16-precision scoring path;
+* ``serving/swap/seconds`` — checkpoint hot-swap latency (load + atomic
+  publish), the freshness cost of serving from snapshots.
+
+The section registers itself in the :mod:`repro.obs.bench` suite
+registry as ``"serving"``, so ``repro bench --suites serving`` also
+works; ``repro serve-bench`` is the dedicated front door that adds SLO
+declaration and the serving-specific knobs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+
+from repro.mf.model import MFModel
+from repro.obs.bench import (
+    BenchConfig,
+    MetricResult,
+    _elapsed,
+    kernel_workload,
+    make_document,
+    register_suite,
+)
+from repro.serving.loadgen import SLO, LoadGenConfig, LoadReport, run_loadgen
+from repro.serving.scorer import Scorer, SeenIndex
+from repro.serving.store import ModelStore
+
+
+@dataclass(frozen=True)
+class ServingBenchConfig:
+    """Serving-specific workload knobs layered over :class:`BenchConfig`."""
+
+    requests: int = 300
+    batch_size: int = 16
+    topk: int = 10
+    mode: str = "closed"
+    concurrency: int = 2
+    rate_qps: float = 500.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("requests", "batch_size", "topk", "concurrency"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    @classmethod
+    def from_bench(cls, config: BenchConfig) -> "ServingBenchConfig":
+        """Scale the serving workload to the bench preset (quick = smoke)."""
+        if config.quick:
+            return cls(requests=60, batch_size=8, concurrency=2)
+        return cls()
+
+    def loadgen(self, seed: int) -> LoadGenConfig:
+        return LoadGenConfig(
+            requests=self.requests,
+            batch_size=self.batch_size,
+            k=self.topk,
+            mode=self.mode,
+            concurrency=self.concurrency,
+            rate_qps=self.rate_qps,
+            seed=seed,
+        )
+
+
+def _build_serving_fixture(config: BenchConfig, tmpdir: str):
+    """The pinned serving workload: model + checkpoint + seen index."""
+    from repro.core.checkpoint import Checkpoint, save_checkpoint
+
+    ratings = kernel_workload(config.nnz, config.seed)
+    model = MFModel.init_for(ratings, config.k, seed=config.seed)
+    path = os.path.join(tmpdir, "serving-ckpt")
+    save_checkpoint(Checkpoint(model=model, epoch=1), path)
+    store = ModelStore(path)
+    return ratings, store, path
+
+
+def serving_metrics(
+    config: BenchConfig,
+    serving: ServingBenchConfig | None = None,
+) -> list[MetricResult]:
+    """The registered ``serving`` suite section."""
+    serving = serving if serving is not None else ServingBenchConfig.from_bench(config)
+    reports, fp16_reports, swap_times = _measure(config, serving)
+
+    meta = {
+        "requests": serving.requests,
+        "batch_size": serving.batch_size,
+        "topk": serving.topk,
+        "mode": serving.mode,
+        "concurrency": serving.concurrency,
+        "nnz": config.nnz,
+        "k": config.k,
+        "exclude": "seen",
+    }
+    out = [
+        MetricResult(
+            name="serving/topk/p50_ms", unit="ms", kind="time",
+            repeats=tuple(r.p50_ms for r in reports), meta=dict(meta),
+        ),
+        MetricResult(
+            name="serving/topk/p99_ms", unit="ms", kind="time",
+            repeats=tuple(r.p99_ms for r in reports), meta=dict(meta),
+        ),
+        MetricResult(
+            name="serving/topk/qps", unit="req/s", kind="throughput",
+            repeats=tuple(r.qps for r in reports), meta=dict(meta),
+        ),
+        MetricResult(
+            name="serving/topk[fp16]/p50_ms", unit="ms", kind="time",
+            repeats=tuple(r.p50_ms for r in fp16_reports),
+            meta=dict(meta, precision="fp16"),
+        ),
+        MetricResult(
+            name="serving/topk[fp16]/qps", unit="req/s", kind="throughput",
+            repeats=tuple(r.qps for r in fp16_reports),
+            meta=dict(meta, precision="fp16"),
+        ),
+        MetricResult(
+            name="serving/swap/seconds", unit="s", kind="time",
+            repeats=tuple(swap_times),
+            meta={"nnz": config.nnz, "k": config.k},
+        ),
+    ]
+    return out
+
+
+def _measure(config: BenchConfig, serving: ServingBenchConfig):
+    reports: list[LoadReport] = []
+    fp16_reports: list[LoadReport] = []
+    swap_times: list[float] = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmpdir:
+        ratings, store, path = _build_serving_fixture(config, tmpdir)
+        seen = SeenIndex.from_ratings(ratings)
+        scorer = Scorer(store)
+        fp16_scorer = Scorer(store, precision="fp16")
+        for rep in range(config.repeats):
+            lg = serving.loadgen(config.seed + rep)
+            reports.append(run_loadgen(scorer, lg, exclude=seen))
+            fp16_reports.append(run_loadgen(fp16_scorer, lg, exclude=seen))
+            swap_times.append(_elapsed(lambda: store.swap(path)))
+    return reports, fp16_reports, swap_times
+
+
+register_suite("serving", serving_metrics)
+
+
+def slo_block(slo: SLO, metrics: list[MetricResult]) -> dict:
+    """The document's ``slo`` object: targets, measured means, verdicts."""
+    by_name = {m.name: m for m in metrics}
+    measured = {
+        "p50_ms": by_name["serving/topk/p50_ms"].mean,
+        "p99_ms": by_name["serving/topk/p99_ms"].mean,
+        "qps": by_name["serving/topk/qps"].mean,
+    }
+    violations = slo.violations(
+        measured["p50_ms"], measured["p99_ms"], measured["qps"]
+    )
+    return {
+        "targets": slo.to_dict(),
+        "measured": measured,
+        "ok": not violations,
+        "violations": violations,
+    }
+
+
+def run_serving_suite(
+    config: BenchConfig | None = None,
+    serving: ServingBenchConfig | None = None,
+    slo: SLO | None = None,
+    log=None,
+) -> dict:
+    """Run the serving suite and return a ``suite="serving"`` document."""
+    config = config if config is not None else BenchConfig()
+    serving = serving if serving is not None else ServingBenchConfig.from_bench(config)
+    if log is not None:
+        log(f"suite serving: {serving.mode} x {serving.requests} requests "
+            f"({config.repeats} repeat(s))")
+    metrics = serving_metrics(config, serving)
+    doc = make_document(metrics, config, suite="serving")
+    if slo is not None and slo.declared:
+        doc["slo"] = slo_block(slo, metrics)
+    return doc

@@ -1,0 +1,236 @@
+"""Closed-loop / Poisson load generator with SLO verdicts.
+
+The NVIDIA NCF exemplar (SNIPPETS.md) treats inference benchmarking as
+a first-class deliverable next to training; this module is that for the
+serving plane.  Two arrival modes:
+
+* ``closed`` — N concurrent clients, each issuing its next request the
+  moment the previous one returns (classic closed-loop: measures the
+  service's sustainable throughput at a fixed concurrency);
+* ``poisson`` — a single paced client whose inter-arrival gaps are
+  exponentially distributed at ``rate_qps`` (an open-loop approximation
+  that exercises the latency distribution under randomized spacing;
+  a response slower than the next arrival delays it, so it degrades
+  gracefully toward closed behaviour at saturation).
+
+Every request's latency is measured with ``time.perf_counter`` (HCC110:
+one monotonic time base for all timing code) and summarized as p50/p99
+milliseconds and QPS.  An :class:`SLO` declares targets; the report's
+:meth:`~LoadReport.check_slo` turns measurements into named violations
+so the CLI and CI can gate on them.
+
+The clock and sleep functions are injectable (the unit tests drive a
+fake clock for deterministic percentile math); production callers use
+the defaults.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.serving.scorer import Scorer, SeenIndex
+
+#: arrival modes run_loadgen accepts
+MODES = ("closed", "poisson")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Declared service-level objectives; ``None`` targets are unchecked."""
+
+    p50_ms: float | None = None
+    p99_ms: float | None = None
+    min_qps: float | None = None
+
+    @property
+    def declared(self) -> bool:
+        return any(v is not None for v in (self.p50_ms, self.p99_ms, self.min_qps))
+
+    def to_dict(self) -> dict:
+        return {"p50_ms": self.p50_ms, "p99_ms": self.p99_ms,
+                "min_qps": self.min_qps}
+
+    def violations(self, p50_ms: float, p99_ms: float, qps: float) -> list[str]:
+        """Named violations for one set of measurements (empty = all met)."""
+        out: list[str] = []
+        if self.p50_ms is not None and p50_ms > self.p50_ms:
+            out.append(f"p50 {p50_ms:.3f}ms exceeds SLO {self.p50_ms:g}ms")
+        if self.p99_ms is not None and p99_ms > self.p99_ms:
+            out.append(f"p99 {p99_ms:.3f}ms exceeds SLO {self.p99_ms:g}ms")
+        if self.min_qps is not None and qps < self.min_qps:
+            out.append(
+                f"throughput {qps:,.1f} qps below SLO {self.min_qps:g} qps"
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One load-generation run's knobs."""
+
+    requests: int = 200
+    batch_size: int = 8
+    k: int = 10
+    mode: str = "closed"
+    concurrency: int = 2        # closed mode: concurrent clients
+    rate_qps: float = 500.0     # poisson mode: mean arrival rate
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        for field_name in ("requests", "batch_size", "k", "concurrency"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Measured latency/throughput for one run, plus SLO checking."""
+
+    mode: str
+    requests: int
+    batch_size: int
+    k: int
+    concurrency: int
+    latencies_ms: tuple[float, ...]
+    elapsed_s: float
+    versions: tuple[int, ...]   # distinct snapshot versions that served
+
+    @property
+    def p50_ms(self) -> float:
+        return float(np.percentile(self.latencies_ms, 50))
+
+    @property
+    def p99_ms(self) -> float:
+        return float(np.percentile(self.latencies_ms, 99))
+
+    @property
+    def qps(self) -> float:
+        return self.requests / max(self.elapsed_s, 1e-9)
+
+    def check_slo(self, slo: SLO) -> list[str]:
+        """Human-readable violations; empty means every target held."""
+        return slo.violations(self.p50_ms, self.p99_ms, self.qps)
+
+    def render(self, slo: SLO | None = None) -> str:
+        lines = [
+            f"loadgen[{self.mode}]: {self.requests} requests x batch "
+            f"{self.batch_size} x top-{self.k} "
+            f"({self.concurrency} client(s))",
+            f"  latency: p50 {self.p50_ms:.3f}ms  p99 {self.p99_ms:.3f}ms",
+            f"  throughput: {self.qps:,.1f} qps over {self.elapsed_s:.3f}s",
+            f"  snapshots seen: {len(self.versions)} "
+            f"(v{min(self.versions)}..v{max(self.versions)})"
+            if self.versions else "  snapshots seen: 0",
+        ]
+        if slo is not None and slo.declared:
+            violations = self.check_slo(slo)
+            if violations:
+                lines.extend(f"  SLO VIOLATED: {v}" for v in violations)
+            else:
+                lines.append("  SLO: all declared targets met")
+        return "\n".join(lines)
+
+
+def run_loadgen(
+    scorer: Scorer,
+    config: LoadGenConfig,
+    *,
+    exclude: SeenIndex | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+    sleep: Callable[[float], None] = time.sleep,
+) -> LoadReport:
+    """Drive ``scorer`` with the configured arrival process and measure it."""
+    snap = scorer.store.snapshot()
+    user_space = snap.m
+    if config.mode == "closed":
+        lat, versions, elapsed = _run_closed(
+            scorer, config, user_space, exclude, clock
+        )
+    else:
+        lat, versions, elapsed = _run_poisson(
+            scorer, config, user_space, exclude, clock, sleep
+        )
+    return LoadReport(
+        mode=config.mode,
+        requests=len(lat),
+        batch_size=config.batch_size,
+        k=config.k,
+        concurrency=config.concurrency if config.mode == "closed" else 1,
+        latencies_ms=tuple(lat),
+        elapsed_s=elapsed,
+        versions=tuple(sorted(set(versions))),
+    )
+
+
+def _one_request(scorer, rng, config, user_space, exclude, clock):
+    users = rng.integers(0, user_space, size=config.batch_size)
+    t0 = clock()
+    result = scorer.top_k(users, config.k, exclude=exclude)
+    return (clock() - t0) * 1e3, result.version
+
+
+def _run_closed(scorer, config, user_space, exclude, clock):
+    """N clients, each back-to-back; a shared budget caps total requests."""
+    budget = {"left": config.requests}
+    budget_lock = threading.Lock()
+    results: list[list[tuple[float, int]]] = [
+        [] for _ in range(config.concurrency)
+    ]
+    errors: list[Exception] = []
+
+    def client(slot: int, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        try:
+            while True:
+                with budget_lock:
+                    if budget["left"] <= 0:
+                        return
+                    budget["left"] -= 1
+                results[slot].append(_one_request(
+                    scorer, rng, config, user_space, exclude, clock
+                ))
+        except Exception as exc:  # surfaced to the caller below
+            errors.append(exc)
+
+    seeds = np.random.SeedSequence(config.seed).spawn(config.concurrency)
+    threads = [
+        threading.Thread(target=client, args=(i, int(s.generate_state(1)[0])),
+                         daemon=True)
+        for i, s in enumerate(seeds)
+    ]
+    t0 = clock()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300.0)
+    elapsed = max(clock() - t0, 1e-9)
+    if errors:
+        raise errors[0]
+    flat = [rec for slot in results for rec in slot]
+    return [d for d, _ in flat], [v for _, v in flat], elapsed
+
+
+def _run_poisson(scorer, config, user_space, exclude, clock, sleep):
+    """One paced client with exponential inter-arrival gaps."""
+    rng = np.random.default_rng(config.seed)
+    gaps = rng.exponential(1.0 / config.rate_qps, size=config.requests)
+    lat: list[float] = []
+    versions: list[int] = []
+    t0 = clock()
+    for gap in gaps:
+        if gap > 0:
+            sleep(float(gap))
+        d, v = _one_request(scorer, rng, config, user_space, exclude, clock)
+        lat.append(d)
+        versions.append(v)
+    elapsed = max(clock() - t0, 1e-9)
+    return lat, versions, elapsed

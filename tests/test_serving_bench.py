@@ -1,0 +1,234 @@
+"""Bench tier: the serving suite's documents, registry entry, and CLI.
+
+``BENCH_serving.json`` must validate against the shared schema, compare
+with the same noise-aware verdicts (exit 3 on an injected slowdown),
+and gate on declared SLOs (exit 1) — all through the extensible suite
+registry, so ``repro bench --suites serving`` works too.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.bench import (
+    BenchConfig,
+    available_suites,
+    compare_docs,
+    register_suite,
+    run_suite,
+)
+from repro.obs.schema import validate_bench
+from repro.serving.bench import ServingBenchConfig, run_serving_suite, slo_block
+from repro.serving.loadgen import SLO
+
+QUICK = BenchConfig.quick_config(nnz=1_000)
+SERVING = ServingBenchConfig(requests=20, batch_size=4, concurrency=2)
+
+EXPECTED_METRICS = {
+    "serving/topk/p50_ms",
+    "serving/topk/p99_ms",
+    "serving/topk/qps",
+    "serving/topk[fp16]/p50_ms",
+    "serving/topk[fp16]/qps",
+    "serving/swap/seconds",
+}
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return run_serving_suite(QUICK, serving=SERVING)
+
+
+class TestDocument:
+    def test_validates_against_shared_schema(self, quick_doc):
+        assert validate_bench(quick_doc) == []
+        assert quick_doc["suite"] == "serving"
+        assert quick_doc["provenance"]["quick"] is True
+
+    def test_emits_the_pinned_metric_set(self, quick_doc):
+        assert {m["name"] for m in quick_doc["metrics"]} == EXPECTED_METRICS
+        kinds = {m["name"]: m["kind"] for m in quick_doc["metrics"]}
+        assert kinds["serving/topk/qps"] == "throughput"
+        assert kinds["serving/topk/p99_ms"] == "time"
+
+    def test_no_slo_block_unless_declared(self, quick_doc):
+        assert "slo" not in quick_doc
+        doc = run_serving_suite(QUICK, serving=SERVING, slo=SLO())
+        assert "slo" not in doc
+
+    def test_slo_block_shape_and_verdict(self):
+        doc = run_serving_suite(
+            QUICK, serving=SERVING, slo=SLO(p99_ms=1e6, min_qps=1e-3)
+        )
+        assert validate_bench(doc) == []
+        assert doc["slo"]["ok"] is True
+        assert doc["slo"]["violations"] == []
+        assert doc["slo"]["targets"]["p99_ms"] == pytest.approx(1e6)
+        assert set(doc["slo"]["measured"]) == {"p50_ms", "p99_ms", "qps"}
+
+    def test_violated_slo_is_recorded(self):
+        doc = run_serving_suite(QUICK, serving=SERVING, slo=SLO(p50_ms=1e-9))
+        assert doc["slo"]["ok"] is False
+        assert any("p50" in v for v in doc["slo"]["violations"])
+
+    def test_slo_block_helper_uses_metric_means(self, quick_doc):
+        from repro.obs.bench import MetricResult
+
+        metrics = [
+            MetricResult(name=m["name"], unit=m["unit"], kind=m["kind"],
+                         repeats=tuple(m["repeats"]), meta=m.get("meta", {}))
+            for m in quick_doc["metrics"]
+        ]
+        block = slo_block(SLO(min_qps=1e12), metrics)
+        assert block["ok"] is False
+        assert block["measured"]["qps"] == pytest.approx(
+            next(m.mean for m in metrics if m.name == "serving/topk/qps")
+        )
+
+
+class TestSuiteRegistry:
+    def test_serving_is_registered(self):
+        suites = available_suites()
+        assert suites[:3] == ("kernel", "epoch", "wire")
+        assert "serving" in suites
+
+    def test_generic_driver_runs_the_serving_section(self):
+        doc = run_suite(QUICK, suites=("serving",))
+        assert validate_bench(doc) == []
+        assert {m["name"] for m in doc["metrics"]} == EXPECTED_METRICS
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_suite("serving", lambda config: [])
+
+    @pytest.mark.parametrize("name", ["", "a,b", " pad "])
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(ValueError, match="invalid suite name"):
+            register_suite(name, lambda config: [])
+
+
+class TestRegressionGate:
+    def test_injected_slowdown_regresses(self, quick_doc):
+        slowed = json.loads(json.dumps(quick_doc))
+        for metric in slowed["metrics"]:
+            if metric["kind"] == "time":
+                metric["repeats"] = [r * 3 for r in metric["repeats"]]
+                for key in ("mean", "stdev", "min", "max"):
+                    metric[key] = metric[key] * 3
+        report = compare_docs(quick_doc, slowed, threshold_pct=5.0)
+        assert not report.ok
+        assert "REGRESSED" in report.render()
+
+    def test_self_compare_is_clean(self, quick_doc):
+        assert compare_docs(quick_doc, quick_doc, threshold_pct=5.0).ok
+
+
+class TestServingBenchConfig:
+    def test_quick_preset_shrinks_the_run(self):
+        quick = ServingBenchConfig.from_bench(BenchConfig.quick_config())
+        full = ServingBenchConfig.from_bench(BenchConfig())
+        assert quick.requests < full.requests
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="requests"):
+            ServingBenchConfig(requests=0)
+
+    def test_loadgen_threading(self):
+        lg = ServingBenchConfig(mode="poisson", rate_qps=123.0).loadgen(seed=9)
+        assert lg.mode == "poisson"
+        assert lg.rate_qps == pytest.approx(123.0)
+        assert lg.seed == 9
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.out == "BENCH_serving.json"
+        assert args.quick is False
+        assert args.threshold == pytest.approx(5.0)
+        assert args.slo_p99_ms is None
+
+    def test_bad_mode_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--mode", "open"])
+
+    def test_quick_run_writes_valid_document(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_serving.json"
+        assert main([
+            "serve-bench", "--quick", "--nnz", "1000",
+            "--requests", "20", "--out", str(out),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert validate_bench(doc) == []
+        assert doc["suite"] == "serving"
+
+    def test_slo_violation_exits_one(self, capsys, tmp_path):
+        assert main([
+            "serve-bench", "--quick", "--nnz", "1000", "--requests", "20",
+            "--out", str(tmp_path / "b.json"), "--slo-p50-ms", "1e-9",
+        ]) == 1
+        assert "SLO VIOLATED" in capsys.readouterr().out
+
+    def test_met_slo_exits_zero(self, capsys, tmp_path):
+        assert main([
+            "serve-bench", "--quick", "--nnz", "1000", "--requests", "20",
+            "--out", str(tmp_path / "b.json"), "--slo-p99-ms", "1e6",
+        ]) == 0
+        assert "all declared targets met" in capsys.readouterr().out
+
+    def test_compare_detects_injected_slowdown(self, capsys, tmp_path):
+        out = tmp_path / "before.json"
+        assert main([
+            "serve-bench", "--quick", "--nnz", "1000",
+            "--requests", "20", "--out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        for metric in doc["metrics"]:
+            if metric["kind"] == "time":
+                metric["repeats"] = [r * 3 for r in metric["repeats"]]
+                for key in ("mean", "stdev", "min", "max"):
+                    metric[key] = metric[key] * 3
+        slowed = tmp_path / "slowed.json"
+        slowed.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main([
+            "serve-bench", "--compare", str(out), "--against", str(slowed),
+        ]) == 3
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_self_compare_passes(self, capsys, tmp_path):
+        out = tmp_path / "b.json"
+        assert main([
+            "serve-bench", "--quick", "--nnz", "1000",
+            "--requests", "20", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve-bench", "--compare", str(out), "--against", str(out),
+        ]) == 0
+        assert "compare: OK" in capsys.readouterr().out
+
+    def test_compare_missing_file(self, capsys, tmp_path):
+        assert main([
+            "serve-bench", "--compare", str(tmp_path / "no.json"),
+            "--against", str(tmp_path / "no.json"),
+        ]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_bench_suites_serving(self, capsys, tmp_path):
+        out = tmp_path / "via_bench.json"
+        assert main([
+            "bench", "--quick", "--nnz", "1000",
+            "--suites", "serving", "--out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench(doc) == []
+        assert {m["name"] for m in doc["metrics"]} == EXPECTED_METRICS
+
+    def test_bench_unknown_suite_lists_serving(self, capsys):
+        assert main(["bench", "--suites", "gpu"]) == 2
+        assert "serving" in capsys.readouterr().err

@@ -1,0 +1,141 @@
+"""Loadgen tier: deterministic percentile math and SLO verdicts.
+
+The clock and sleep are injectable, so these tests script exact
+request timings and assert the report's p50/p99/QPS to the digit; the
+real-clock paths are smoke-checked for shape only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.loadgen import SLO, LoadGenConfig, LoadReport, run_loadgen
+from repro.serving.scorer import Scorer
+
+from tests.test_serving_topk import store_for
+
+
+class ScriptedClock:
+    """Returns pre-computed instants: run-start, (start, end) per request, run-end."""
+
+    def __init__(self, durations_s):
+        times = [0.0]
+        t = 0.0
+        for d in durations_s:
+            times.extend([t, t + d])
+            t += d
+        times.append(t)
+        self.times = times
+        self.calls = 0
+
+    def __call__(self) -> float:
+        t = self.times[self.calls]
+        self.calls += 1
+        return t
+
+
+def scorer_for_tests():
+    return Scorer(store_for(np.ones((10, 3)), np.ones((3, 6))))
+
+
+class TestClosedLoopDeterminism:
+    def test_exact_percentiles_and_qps(self):
+        durations = [0.005, 0.001, 0.009, 0.003]
+        clock = ScriptedClock(durations)
+        config = LoadGenConfig(requests=4, batch_size=2, k=3,
+                               mode="closed", concurrency=1, seed=0)
+        report = run_loadgen(scorer_for_tests(), config, clock=clock)
+
+        latencies_ms = [d * 1e3 for d in durations]
+        assert report.requests == 4
+        assert report.latencies_ms == pytest.approx(tuple(latencies_ms))
+        assert report.p50_ms == pytest.approx(np.percentile(latencies_ms, 50))
+        assert report.p99_ms == pytest.approx(np.percentile(latencies_ms, 99))
+        assert report.elapsed_s == pytest.approx(sum(durations))
+        assert report.qps == pytest.approx(4 / sum(durations))
+        assert report.versions == (1,)
+        assert clock.calls == len(clock.times)
+
+    def test_multi_client_covers_budget(self):
+        config = LoadGenConfig(requests=24, batch_size=2, k=3,
+                               mode="closed", concurrency=3, seed=1)
+        report = run_loadgen(scorer_for_tests(), config)
+        assert report.requests == 24
+        assert report.concurrency == 3
+        assert all(lat >= 0 for lat in report.latencies_ms)
+        assert report.qps > 0
+
+    def test_reader_errors_propagate(self):
+        scorer = scorer_for_tests()
+        config = LoadGenConfig(requests=4, mode="closed", concurrency=2)
+        scorer.store._snapshot = None   # sabotage: snapshot() now raises
+        with pytest.raises(Exception, match="no model loaded"):
+            run_loadgen(scorer, config)
+
+
+class TestPoissonDeterminism:
+    def test_gaps_follow_seeded_exponential(self):
+        sleeps: list[float] = []
+        config = LoadGenConfig(requests=5, batch_size=2, k=3,
+                               mode="poisson", rate_qps=100.0, seed=42)
+        durations = [0.002] * 5
+        report = run_loadgen(
+            scorer_for_tests(), config,
+            clock=ScriptedClock(durations), sleep=sleeps.append,
+        )
+        expected = np.random.default_rng(42).exponential(1 / 100.0, size=5)
+        assert sleeps == pytest.approx([float(g) for g in expected])
+        assert report.mode == "poisson"
+        assert report.concurrency == 1
+        assert report.latencies_ms == pytest.approx((2.0,) * 5)
+        assert report.p50_ms == pytest.approx(2.0)
+
+
+class TestSLO:
+    def test_undeclared_is_unchecked(self):
+        slo = SLO()
+        assert not slo.declared
+        assert slo.violations(1e9, 1e9, 0.0) == []
+
+    def test_each_target_violates_independently(self):
+        slo = SLO(p50_ms=1.0, p99_ms=5.0, min_qps=100.0)
+        assert slo.declared
+        assert slo.violations(0.5, 4.0, 200.0) == []
+        assert len(slo.violations(2.0, 4.0, 200.0)) == 1
+        assert len(slo.violations(2.0, 9.0, 50.0)) == 3
+        assert "p99" in slo.violations(0.5, 9.0, 200.0)[0]
+
+    def test_report_check_slo_and_render(self):
+        report = LoadReport(mode="closed", requests=2, batch_size=1, k=1,
+                            concurrency=1, latencies_ms=(1.0, 3.0),
+                            elapsed_s=0.004, versions=(1,))
+        assert report.check_slo(SLO(p50_ms=10.0)) == []
+        violations = report.check_slo(SLO(min_qps=1e6))
+        assert len(violations) == 1
+        assert "SLO VIOLATED" in report.render(SLO(min_qps=1e6))
+        assert "all declared targets met" in report.render(SLO(p50_ms=10.0))
+        assert "SLO" not in report.render()       # undeclared: no verdict line
+        assert "SLO" not in report.render(SLO())
+
+    def test_to_dict_round_trip(self):
+        slo = SLO(p99_ms=50.0)
+        assert slo.to_dict() == {"p50_ms": None, "p99_ms": 50.0,
+                                 "min_qps": None}
+
+
+class TestConfigValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            LoadGenConfig(mode="open")
+
+    @pytest.mark.parametrize(
+        "field", ["requests", "batch_size", "k", "concurrency"]
+    )
+    def test_non_positive_counts(self, field):
+        with pytest.raises(ValueError, match=field):
+            LoadGenConfig(**{field: 0})
+
+    def test_non_positive_rate(self):
+        with pytest.raises(ValueError, match="rate_qps"):
+            LoadGenConfig(rate_qps=0.0)
